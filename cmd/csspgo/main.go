@@ -1,0 +1,340 @@
+// Command csspgo is the compiler driver: it builds MiniLang programs under
+// any PGO variant, runs them on the simulator, collects profiles, and runs
+// the offline pre-inliner — the same workflow the paper's production
+// deployment automates.
+//
+// Usage:
+//
+//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] src.ml...
+//	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
+//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797]
+//	csspgo preinline -bin app.bin -profile app.prof -o app.prof
+//	csspgo inspect -bin app.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/pgo"
+	"csspgo/internal/preinline"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sampling"
+	"csspgo/internal/sim"
+	"csspgo/internal/source"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "preinline":
+		err = cmdPreinline(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csspgo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect> [flags]")
+	os.Exit(2)
+}
+
+// cmdMerge merges profiles from multiple profiling shards (the continuous
+// production-profiling aggregation step).
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "merged.prof", "output profile path")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: no input profiles")
+	}
+	var merged *profdata.Profile
+	for _, path := range fs.Args() {
+		prof, err := loadProfile(path)
+		if err != nil {
+			return fmt.Errorf("merge %s: %w", path, err)
+		}
+		if merged == nil {
+			merged = prof
+			continue
+		}
+		if prof.Kind != merged.Kind {
+			return fmt.Errorf("merge %s: profile kind mismatch", path)
+		}
+		profdata.MergeProfiles(merged, prof)
+	}
+	if err := os.WriteFile(*out, []byte(profdata.EncodeToString(merged)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d profiles into %s: %s\n", fs.NArg(), *out, merged)
+	return nil
+}
+
+func parseFiles(paths []string) ([]*source.File, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no source files")
+	}
+	var files []*source.File
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := source.Parse(path, string(data))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func loadBin(path string) (*machine.Prog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return machine.ReadProg(f)
+}
+
+func loadProfile(path string) (*profdata.Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return profdata.DecodeAny(data)
+}
+
+// requests builds the run/profiling request stream from flags.
+func requests(args string, n int, seed, bound int64) [][]int64 {
+	if args != "" {
+		parts := strings.Split(args, ",")
+		req := make([]int64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad arg %q\n", p)
+				os.Exit(2)
+			}
+			req = append(req, v)
+		}
+		return [][]int64{req}
+	}
+	out := make([][]int64, n)
+	x := uint64(seed)*2654435761 + 12345
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a := int64(x % uint64(bound))
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b := int64(x % uint64(bound))
+		out[i] = []int64{a, b}
+	}
+	return out
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "app.bin", "output binary path")
+	probes := fs.Bool("probes", false, "insert pseudo-probes")
+	instrument := fs.Bool("instrument", false, "materialize probes as counters (Instr PGO training)")
+	profPath := fs.String("profile", "", "input profile (text format)")
+	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
+	_ = fs.Parse(args)
+
+	files, err := parseFiles(fs.Args())
+	if err != nil {
+		return err
+	}
+	cfg := pgo.BuildConfig{Probes: *probes || *instrument, Instrument: *instrument, UsePreInlineDecisions: *preinl}
+	if *profPath != "" {
+		prof, err := loadProfile(*profPath)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = prof
+	}
+	res, err := pgo.Build(files, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.Bin.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("built %s: %s\n", *out, res.Bin)
+	fmt.Printf("pipeline: %+v\n", *res.Stats)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	binPath := fs.String("bin", "app.bin", "binary path")
+	argStr := fs.String("args", "", "comma-separated args for one run of main")
+	n := fs.Int("n", 20, "generated request count (when -args absent)")
+	seed := fs.Int64("seed", 1, "request generator seed")
+	bound := fs.Int64("bound", 1000, "request magnitude bound")
+	stats := fs.Bool("stats", false, "print execution statistics")
+	_ = fs.Parse(args)
+
+	bin, err := loadBin(*binPath)
+	if err != nil {
+		return err
+	}
+	m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+	for _, req := range requests(*argStr, *n, *seed, *bound) {
+		v, err := m.Run(req...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("main(%v) = %d\n", req, v)
+	}
+	if *stats {
+		fmt.Printf("stats: %+v\n", m.Stats())
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	binPath := fs.String("bin", "app.bin", "training binary path")
+	out := fs.String("o", "app.prof", "output profile path")
+	kind := fs.String("kind", "cs", "profile kind: cs|probe|autofdo|instr")
+	n := fs.Int("n", 200, "training request count")
+	seed := fs.Int64("seed", 1, "request generator seed")
+	bound := fs.Int64("bound", 1000, "request magnitude bound")
+	period := fs.Uint64("period", 797, "sampling period (taken branches)")
+	pebs := fs.Bool("pebs", true, "precise sampling (synchronized stacks)")
+	_ = fs.Parse(args)
+
+	bin, err := loadBin(*binPath)
+	if err != nil {
+		return err
+	}
+	reqs := requests("", *n, *seed, *bound)
+
+	var prof *profdata.Profile
+	switch *kind {
+	case "instr":
+		m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+		for _, req := range reqs {
+			if _, err := m.Run(req...); err != nil {
+				return err
+			}
+		}
+		prof = sampling.GenerateInstrProfile(bin, m.Counters())
+	default:
+		cfg := sim.PMUConfig{
+			SamplePeriod: *period, LBRDepth: 16, PEBS: *pebs,
+			SampleStacks: *kind == "cs", Jitter: true, Seed: 0x5eed,
+		}
+		m := sim.New(bin, sim.DefaultCostParams(), cfg)
+		for _, req := range reqs {
+			if _, err := m.Run(req...); err != nil {
+				return err
+			}
+		}
+		switch *kind {
+		case "cs":
+			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), sampling.DefaultCSSPGOOptions())
+			prof = p
+			fmt.Printf("unwinder: %+v\n", stats)
+		case "probe":
+			prof = sampling.GenerateProbeProfile(bin, m.Samples())
+		case "autofdo":
+			prof = sampling.GenerateAutoFDO(bin, m.Samples())
+		default:
+			return fmt.Errorf("unknown profile kind %q", *kind)
+		}
+	}
+	if err := os.WriteFile(*out, []byte(profdata.EncodeToString(prof)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s (%d bytes)\n", *out, prof, prof.SizeBytes())
+	return nil
+}
+
+func cmdPreinline(args []string) error {
+	fs := flag.NewFlagSet("preinline", flag.ExitOnError)
+	binPath := fs.String("bin", "app.bin", "profiled binary (for size extraction)")
+	profPath := fs.String("profile", "app.prof", "context-sensitive profile")
+	out := fs.String("o", "app.prof", "output profile path")
+	trim := fs.Uint64("trim", 0, "cold-context trim threshold (0 = auto)")
+	_ = fs.Parse(args)
+
+	bin, err := loadBin(*binPath)
+	if err != nil {
+		return err
+	}
+	prof, err := loadProfile(*profPath)
+	if err != nil {
+		return err
+	}
+	if !prof.CS {
+		return fmt.Errorf("profile is not context-sensitive")
+	}
+	th := *trim
+	if th == 0 {
+		th = prof.TotalSamples() / 2000
+		if th < 2 {
+			th = 2
+		}
+	}
+	trimmed := prof.TrimColdContexts(th)
+	sizes := preinline.ExtractSizes(bin)
+	res := preinline.Run(prof, sizes, preinline.DeriveParams(prof))
+	if err := os.WriteFile(*out, []byte(profdata.EncodeToString(prof)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trimmed %d cold contexts; pre-inliner marked %d, promoted %d; wrote %s\n",
+		trimmed, res.Inlined, res.Promoted, *out)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	binPath := fs.String("bin", "app.bin", "binary path")
+	_ = fs.Parse(args)
+
+	bin, err := loadBin(*binPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bin)
+	fmt.Printf("%-24s %10s %10s %8s\n", "function", "start", "size B", "cold B")
+	for _, fn := range bin.Funcs {
+		cold := fn.ColdEnd - fn.ColdStart
+		fmt.Printf("%-24s %#10x %10d %8d\n", fn.Name, fn.Start, fn.End-fn.Start, cold)
+	}
+	fmt.Printf("sections: text=%dB debug=%dB probemeta=%dB\n", bin.TextSize, bin.DebugSize, bin.ProbeMetaSize)
+	return nil
+}

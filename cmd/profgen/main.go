@@ -1,0 +1,110 @@
+// Command profgen converts a profiling run into a PGO profile — the
+// counterpart of create_llvm_prof / llvm-profgen. It loads a training
+// binary, replays a request stream under the simulated PMU (or reads
+// instrumentation counters), and writes the text profile.
+//
+// Usage:
+//
+//	profgen -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200] [-seed 1] [-bound 1000] [-period 797] [-pebs=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sampling"
+	"csspgo/internal/sim"
+)
+
+func main() {
+	binPath := flag.String("bin", "app.bin", "training binary path")
+	out := flag.String("o", "app.prof", "output profile path")
+	kind := flag.String("kind", "cs", "profile kind: cs|probe|autofdo|instr")
+	n := flag.Int("n", 200, "training request count")
+	seed := flag.Int64("seed", 1, "request generator seed")
+	bound := flag.Int64("bound", 1000, "request magnitude bound")
+	period := flag.Uint64("period", 797, "sampling period (taken branches)")
+	pebs := flag.Bool("pebs", true, "precise sampling (synchronized stacks)")
+	notails := flag.Bool("no-tailcall-inference", false, "disable the missing-frame inferrer")
+	binaryOut := flag.Bool("binary", false, "write the compact binary profile format")
+	flag.Parse()
+
+	if err := run(*binPath, *out, *kind, *n, *seed, *bound, *period, *pebs, *notails, *binaryOut); err != nil {
+		fmt.Fprintf(os.Stderr, "profgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(binPath, out, kind string, n int, seed, bound int64, period uint64, pebs, noTails, binaryOut bool) error {
+	f, err := os.Open(binPath)
+	if err != nil {
+		return err
+	}
+	bin, err := machine.ReadProg(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	reqs := make([][]int64, n)
+	x := uint64(seed)*2654435761 + 12345
+	for i := range reqs {
+		next := func() int64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return int64(x % uint64(bound))
+		}
+		reqs[i] = []int64{next(), next()}
+	}
+
+	var prof *profdata.Profile
+	if kind == "instr" {
+		m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+		for _, req := range reqs {
+			if _, err := m.Run(req...); err != nil {
+				return err
+			}
+		}
+		prof = sampling.GenerateInstrProfile(bin, m.Counters())
+	} else {
+		cfg := sim.PMUConfig{
+			SamplePeriod: period, LBRDepth: 16, PEBS: pebs,
+			SampleStacks: kind == "cs", Jitter: true, Seed: 0x5eed,
+		}
+		m := sim.New(bin, sim.DefaultCostParams(), cfg)
+		for _, req := range reqs {
+			if _, err := m.Run(req...); err != nil {
+				return err
+			}
+		}
+		switch kind {
+		case "cs":
+			opts := sampling.DefaultCSSPGOOptions()
+			opts.TailCallInference = !noTails
+			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
+			prof = p
+			fmt.Printf("unwinder: %+v\n", stats)
+		case "probe":
+			prof = sampling.GenerateProbeProfile(bin, m.Samples())
+		case "autofdo":
+			prof = sampling.GenerateAutoFDO(bin, m.Samples())
+		default:
+			return fmt.Errorf("unknown profile kind %q", kind)
+		}
+	}
+	var data []byte
+	if binaryOut {
+		data = profdata.EncodeBinary(prof)
+	} else {
+		data = []byte(profdata.EncodeToString(prof))
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s (%d bytes)\n", out, prof, len(data))
+	return nil
+}

@@ -1,0 +1,105 @@
+// Quickstart: the end-to-end CSSPGO workflow through the public API —
+// build a training binary, profile it under synchronized LBR + stack
+// sampling, run the pre-inliner, rebuild with the context-sensitive
+// profile, and compare cycles against the plain -O2 baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csspgo"
+)
+
+const app = `
+global requests;
+
+func main(n, seed) {
+	requests = requests + 1;
+	var total = 0;
+	for (var i = 0; i < n % 40 + 20; i = i + 1) {
+		total = total + handle(i, seed);
+	}
+	return total;
+}
+
+func handle(item, seed) {
+	if (item % 4 == 0) { return transform(item + seed, 1); }
+	if (item % 4 == 1) { return transform(item * 3, 2); }
+	return transform(item - seed, 3);
+}
+
+func transform(v, mode) {
+	if (mode == 1) { return v * 2 + 1; }
+	if (mode == 2) {
+		var s = 0;
+		var k = v % 9;
+		while (k > 0) { s = s + v % 7; k = k - 1; }
+		return s;
+	}
+	return v % 1000;
+}
+`
+
+func main() {
+	mods := []csspgo.Module{{Name: "app.ml", Source: app}}
+
+	// Request streams: training and held-out evaluation.
+	train := stream(0x7EA)
+	eval := stream(0xE7A)
+
+	// Plain -O2 baseline.
+	base, _, err := csspgo.BuildVariant(mods, csspgo.Baseline, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseStats, err := csspgo.Run(base, eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full CSSPGO: train → sample → unwind → trim → pre-inline → rebuild.
+	opt, prof, err := csspgo.BuildVariant(mods, csspgo.FullCS, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optStats, err := csspgo.Run(opt, eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	impr := 100 * (float64(baseStats.Cycles) - float64(optStats.Cycles)) / float64(baseStats.Cycles)
+	fmt.Printf("baseline: %d cycles for %d requests\n", baseStats.Cycles, len(eval))
+	fmt.Printf("CSSPGO:   %d cycles  (%+.2f%%)\n", optStats.Cycles, impr)
+	fmt.Printf("profile:  %v\n", prof)
+	fmt.Printf("pipeline: %d sample inlines, %d blocks split cold, %d functions laid out\n",
+		opt.Stats.SampleInlines, opt.Stats.SplitBlocks, opt.Stats.LayoutFuncs)
+
+	// Outputs must be identical — PGO never changes semantics.
+	b, _, err := csspgo.RunOutputs(base, eval[:5])
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, _, err := csspgo.RunOutputs(opt, eval[:5])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			log.Fatalf("semantics changed: request %d: %d vs %d", i, b[i], o[i])
+		}
+	}
+	fmt.Println("outputs verified identical on the first 5 requests")
+}
+
+func stream(seed uint64) [][]int64 {
+	out := make([][]int64, 60)
+	x := seed | 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = []int64{int64(x % 500), int64(x>>32) % 100}
+	}
+	return out
+}

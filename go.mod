@@ -1,0 +1,3 @@
+module csspgo
+
+go 1.22

@@ -1,0 +1,380 @@
+// Package codegen lowers optimized IR to the machine-code model: it lays
+// out functions (hot parts first, split cold parts at the end of the text
+// section), linearizes blocks in their layout order with fallthrough
+// elision, lowers switches to compare-and-branch chains, materializes
+// pseudo-probes as metadata (or as real counter increments in
+// instrumentation builds), and emits the debug line/inline tables.
+package codegen
+
+import (
+	"fmt"
+
+	"csspgo/internal/ir"
+	"csspgo/internal/machine"
+)
+
+// Options controls lowering.
+type Options struct {
+	// Instrument materializes block probes as counter-increment machine
+	// instructions (traditional instrumentation-based PGO). When false,
+	// probes become metadata records only (pseudo-instrumentation).
+	Instrument bool
+	// StripProbeMeta drops the probe metadata section (used to build
+	// binaries whose size excludes probe metadata, e.g. AutoFDO builds).
+	StripProbeMeta bool
+}
+
+type fixupKind uint8
+
+const (
+	fixBlock fixupKind = iota
+	fixFunc
+)
+
+type fixup struct {
+	instr int
+	kind  fixupKind
+	block *ir.Block
+	fn    string
+}
+
+type probeMark struct {
+	probe *ir.Probe
+	instr int // anchor instruction index; may equal len(instrs) transiently
+}
+
+type lowerer struct {
+	prog *ir.Program
+	opts Options
+
+	out        []machine.Instr
+	fixups     []fixup
+	blockMark  map[*ir.Block]int
+	funcHotLo  map[string]int
+	funcHotHi  map[string]int
+	funcColdLo map[string]int
+	funcColdHi map[string]int
+	probeMarks []probeMark
+	pending    []*ir.Probe
+
+	counters map[machine.CounterKey]int32
+	ckeys    []machine.CounterKey
+}
+
+// Lower compiles the program to a binary.
+func Lower(p *ir.Program, opts Options) (*machine.Prog, error) {
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("codegen: input IR invalid: %w", err)
+	}
+	lw := &lowerer{
+		prog:       p,
+		opts:       opts,
+		blockMark:  map[*ir.Block]int{},
+		funcHotLo:  map[string]int{},
+		funcHotHi:  map[string]int{},
+		funcColdLo: map[string]int{},
+		funcColdHi: map[string]int{},
+		counters:   map[machine.CounterKey]int32{},
+	}
+
+	// Globals layout.
+	goff := map[string]int32{}
+	var ginit []int64
+	for _, name := range p.GOrder {
+		g := p.Globals[name]
+		goff[name] = int32(len(ginit))
+		vals := make([]int64, g.Size)
+		copy(vals, g.Init)
+		ginit = append(ginit, vals...)
+	}
+
+	// Function IDs in program order.
+	fnID := map[string]int32{}
+	for i, name := range p.Order {
+		fnID[name] = int32(i)
+	}
+
+	// Emit all hot parts, then all cold parts.
+	for _, f := range p.Functions() {
+		lw.funcHotLo[f.Name] = len(lw.out)
+		lw.emitBlocks(f, fnID, goff, false)
+		lw.funcHotHi[f.Name] = len(lw.out)
+	}
+	for _, f := range p.Functions() {
+		lw.funcColdLo[f.Name] = len(lw.out)
+		lw.emitBlocks(f, fnID, goff, true)
+		lw.funcColdHi[f.Name] = len(lw.out)
+	}
+
+	// Assign addresses.
+	addr := uint64(0x1000)
+	addrs := make([]uint64, len(lw.out)+1)
+	for i := range lw.out {
+		addrs[i] = addr
+		lw.out[i].Addr = addr
+		lw.out[i].Size = machine.SizeOf(lw.out[i].Kind)
+		addr += uint64(lw.out[i].Size)
+	}
+	addrs[len(lw.out)] = addr
+
+	addrOfMark := func(mark int) uint64 { return addrs[mark] }
+
+	// Build symbol table.
+	mp := &machine.Prog{
+		Instrs:     lw.out,
+		FuncByName: map[string]*machine.Func{},
+		GlobalSize: len(ginit),
+		GlobalInit: ginit,
+		GlobalOff:  goff,
+		Checksums:  map[string]uint64{},
+	}
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		mf := &machine.Func{
+			ID:        fnID[name],
+			Name:      name,
+			GUID:      f.GUID,
+			Module:    f.Module,
+			Start:     addrOfMark(lw.funcHotLo[name]),
+			End:       addrOfMark(lw.funcHotHi[name]),
+			NumRegs:   int32(f.NRegs) + 2, // +2 switch-lowering scratch
+			NumParams: int32(len(f.Params)),
+			StartLine: f.StartLine,
+		}
+		if lw.funcColdHi[name] > lw.funcColdLo[name] {
+			mf.ColdStart = addrOfMark(lw.funcColdLo[name])
+			mf.ColdEnd = addrOfMark(lw.funcColdHi[name])
+		}
+		mp.Funcs = append(mp.Funcs, mf)
+		mp.FuncByName[name] = mf
+		if f.NumProbes > 0 {
+			mp.Checksums[name] = f.Checksum
+		}
+	}
+	// Functions fully inlined away still own probe metadata records; their
+	// checksums persist so profiles keyed on them stay verifiable.
+	for name, sum := range p.DroppedChecksums {
+		if _, ok := mp.Checksums[name]; !ok {
+			mp.Checksums[name] = sum
+		}
+	}
+
+	// Patch control-flow targets.
+	for _, fx := range lw.fixups {
+		switch fx.kind {
+		case fixBlock:
+			mark, ok := lw.blockMark[fx.block]
+			if !ok {
+				return nil, fmt.Errorf("codegen: unplaced block b%d", fx.block.ID)
+			}
+			lw.out[fx.instr].Target = addrOfMark(mark)
+		case fixFunc:
+			lw.out[fx.instr].Target = mp.FuncByName[fx.fn].Start
+		}
+	}
+
+	// Materialize probe metadata.
+	if !opts.StripProbeMeta {
+		for _, pm := range lw.probeMarks {
+			anchor := pm.instr
+			if anchor >= len(lw.out) {
+				anchor = len(lw.out) - 1
+			}
+			mp.Probes = append(mp.Probes, machine.ProbeRec{
+				Func:      pm.probe.Func,
+				ID:        pm.probe.ID,
+				Kind:      pm.probe.Kind,
+				Factor:    pm.probe.Factor,
+				InlinedAt: pm.probe.InlinedAt,
+				Addr:      addrs[anchor],
+			})
+		}
+	}
+
+	mp.NumCounters = int32(len(lw.ckeys))
+	mp.CounterKeys = lw.ckeys
+	mp.Instrumented = opts.Instrument
+	if mf, ok := mp.FuncByName["main"]; ok {
+		mp.EntryAddr = mf.Start
+	}
+	mp.Freeze()
+	mp.ComputeSizes()
+	return mp, nil
+}
+
+// emitBlocks lowers the function's hot (cold=false) or cold (cold=true)
+// blocks, in their current layout order.
+func (lw *lowerer) emitBlocks(f *ir.Function, fnID map[string]int32, goff map[string]int32, cold bool) {
+	var blocks []*ir.Block
+	for _, b := range f.Blocks {
+		if b.Cold == cold {
+			blocks = append(blocks, b)
+		}
+	}
+	scratch1 := int32(f.NRegs)
+	scratch2 := int32(f.NRegs) + 1
+
+	for bi, b := range blocks {
+		lw.blockMark[b] = len(lw.out)
+		var next *ir.Block
+		if bi+1 < len(blocks) {
+			next = blocks[bi+1]
+		}
+		tailCalled := false
+		var tailDst ir.Reg = ir.NoReg
+
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			switch in.Op {
+			case ir.OpProbe:
+				lw.emitProbe(in.Probe)
+			case ir.OpConst:
+				lw.emit(machine.Instr{Kind: machine.KConst, Dst: int32(in.Dst), Value: in.Value, Loc: in.Loc})
+			case ir.OpBin:
+				lw.emit(machine.Instr{Kind: machine.KOp, Op: ir.OpBin, Bin: in.BinKind,
+					Dst: int32(in.Dst), A: int32(in.A), B: int32(in.B), Loc: in.Loc})
+			case ir.OpNot:
+				lw.emit(machine.Instr{Kind: machine.KOp, Op: ir.OpNot, Dst: int32(in.Dst), A: int32(in.A), B: -1, Loc: in.Loc})
+			case ir.OpNeg:
+				lw.emit(machine.Instr{Kind: machine.KOp, Op: ir.OpNeg, Dst: int32(in.Dst), A: int32(in.A), B: -1, Loc: in.Loc})
+			case ir.OpMove:
+				lw.emit(machine.Instr{Kind: machine.KOp, Op: ir.OpMove, Dst: int32(in.Dst), A: int32(in.A), B: -1, Loc: in.Loc})
+			case ir.OpSelect:
+				lw.emit(machine.Instr{Kind: machine.KSelect, Op: ir.OpSelect,
+					Dst: int32(in.Dst), A: int32(in.A), B: int32(in.B), C: int32(in.C), Loc: in.Loc})
+			case ir.OpLoadG:
+				lw.emit(machine.Instr{Kind: machine.KLoad, Dst: int32(in.Dst),
+					GlobalOff: goff[in.Global], Index: int32(in.Index), Loc: in.Loc})
+			case ir.OpStoreG:
+				lw.emit(machine.Instr{Kind: machine.KStore, A: int32(in.A),
+					GlobalOff: goff[in.Global], Index: int32(in.Index), Loc: in.Loc})
+			case ir.OpFuncRef:
+				// Function ids are assigned by program order; materialize
+				// as a constant and fix it up like any call target.
+				lw.emit(machine.Instr{Kind: machine.KConst, Dst: int32(in.Dst),
+					Value: int64(fnID[in.Callee]), Loc: in.Loc})
+			case ir.OpICall:
+				if in.Probe != nil {
+					lw.pending = append(lw.pending, in.Probe)
+				}
+				iargs := make([]int32, len(in.Args))
+				for i, a := range in.Args {
+					iargs[i] = int32(a)
+				}
+				lw.emit(machine.Instr{Kind: machine.KICall, Dst: int32(in.Dst),
+					A: int32(in.A), ArgRegs: iargs, Loc: in.Loc})
+			case ir.OpCall:
+				// Call probe is metadata on the call's own address.
+				kind := machine.KCall
+				if in.TailCall {
+					kind = machine.KTailCall
+					tailCalled = true
+					tailDst = in.Dst
+				}
+				if in.Probe != nil {
+					lw.pending = append(lw.pending, in.Probe)
+				}
+				args := make([]int32, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = int32(a)
+				}
+				idx := len(lw.out)
+				lw.emit(machine.Instr{Kind: kind, Dst: int32(in.Dst),
+					CalleeID: fnID[in.Callee], ArgRegs: args, Loc: in.Loc})
+				lw.fixups = append(lw.fixups, fixup{instr: idx, kind: fixFunc, fn: in.Callee})
+			case ir.OpCounter:
+				lw.emit(machine.Instr{Kind: machine.KCounter, CounterID: int32(in.Value), Loc: in.Loc})
+			}
+		}
+
+		// Terminator.
+		t := &b.Term
+		switch t.Kind {
+		case ir.TermReturn:
+			if tailCalled && t.Val == tailDst {
+				// The tail call transferred control; no ret is emitted.
+				break
+			}
+			lw.emit(machine.Instr{Kind: machine.KRet, A: int32(t.Val), Loc: t.Loc})
+		case ir.TermJump:
+			if t.Succs[0] != next {
+				lw.emitJump(t.Succs[0], t.Loc)
+			}
+		case ir.TermBranch:
+			taken, fall := t.Succs[0], t.Succs[1]
+			switch {
+			case fall == next:
+				lw.emitBranch(int32(t.Cond), taken, false, t.Loc)
+			case taken == next:
+				lw.emitBranch(int32(t.Cond), fall, true, t.Loc)
+			default:
+				lw.emitBranch(int32(t.Cond), taken, false, t.Loc)
+				lw.emitJump(fall, t.Loc)
+			}
+		case ir.TermSwitch:
+			for ci, cv := range t.Cases {
+				lw.emit(machine.Instr{Kind: machine.KConst, Dst: scratch1, Value: cv, Loc: t.Loc})
+				lw.emit(machine.Instr{Kind: machine.KOp, Op: ir.OpBin, Bin: ir.BinEq,
+					Dst: scratch2, A: int32(t.Cond), B: scratch1, Loc: t.Loc})
+				lw.emitBranch(scratch2, t.Succs[ci], false, t.Loc)
+			}
+			def := t.Succs[len(t.Succs)-1]
+			if def != next {
+				lw.emitJump(def, t.Loc)
+			}
+		}
+	}
+
+	// Probes pending at the end of the section anchor to the last
+	// instruction emitted (the paper's "next physical instruction" rule,
+	// degenerating at section end).
+	lw.flushPendingTo(len(lw.out) - 1)
+}
+
+func (lw *lowerer) emit(in machine.Instr) {
+	idx := len(lw.out)
+	lw.out = append(lw.out, in)
+	lw.flushPendingTo(idx)
+}
+
+// flushPendingTo anchors accumulated pseudo-probes to instruction idx.
+func (lw *lowerer) flushPendingTo(idx int) {
+	if len(lw.pending) == 0 {
+		return
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	for _, pr := range lw.pending {
+		lw.probeMarks = append(lw.probeMarks, probeMark{probe: pr, instr: idx})
+	}
+	lw.pending = lw.pending[:0]
+}
+
+func (lw *lowerer) emitProbe(p *ir.Probe) {
+	if lw.opts.Instrument && p.Kind == ir.ProbeBlock {
+		key := machine.CounterKey{Func: p.Func, ID: p.ID}
+		id, ok := lw.counters[key]
+		if !ok {
+			id = int32(len(lw.ckeys))
+			lw.counters[key] = id
+			lw.ckeys = append(lw.ckeys, key)
+		}
+		lw.pending = append(lw.pending, p)
+		lw.emit(machine.Instr{Kind: machine.KCounter, CounterID: id})
+		return
+	}
+	lw.pending = append(lw.pending, p)
+}
+
+func (lw *lowerer) emitJump(to *ir.Block, loc *ir.Loc) {
+	idx := len(lw.out)
+	lw.emit(machine.Instr{Kind: machine.KJump, Loc: loc})
+	lw.fixups = append(lw.fixups, fixup{instr: idx, kind: fixBlock, block: to})
+}
+
+func (lw *lowerer) emitBranch(cond int32, to *ir.Block, neg bool, loc *ir.Loc) {
+	idx := len(lw.out)
+	lw.emit(machine.Instr{Kind: machine.KBranch, A: cond, BranchNeg: neg, Loc: loc})
+	lw.fixups = append(lw.fixups, fixup{instr: idx, kind: fixBlock, block: to})
+}

@@ -1,0 +1,164 @@
+package inference
+
+import "csspgo/internal/ir"
+
+// Result summarizes one function's inference run.
+type Result struct {
+	Augmentations int
+	// Adjusted counts how many blocks changed weight.
+	Adjusted int
+}
+
+// Infer repairs the function's annotated block weights into a consistent
+// flow and derives edge weights. Blocks with HasWeight are treated as
+// measurements; others are free. On return every reachable block has
+// HasWeight set and Term.EdgeW parallel to its successors, and flow
+// conservation holds (inflow == block weight == outflow, modulo the
+// virtual entry/exit).
+func Infer(f *ir.Function) Result {
+	blocks := f.ReachableOrder()
+	n := len(blocks)
+	if n == 0 {
+		return Result{}
+	}
+	idx := make(map[*ir.Block]int, n)
+	for i, b := range blocks {
+		idx[b] = i
+	}
+
+	// Scale weights down so cycle canceling converges in few iterations.
+	var maxW uint64
+	for _, b := range blocks {
+		if b.HasWeight && b.Weight > maxW {
+			maxW = b.Weight
+		}
+	}
+	scale := uint64(1)
+	for maxW/scale > 1<<16 {
+		scale *= 2
+	}
+
+	inNode := func(i int) int { return 2 * i }
+	outNode := func(i int) int { return 2*i + 1 }
+	S, T := 2*n, 2*n+1
+	g := newMCF(2*n + 2)
+
+	// Measurement arcs.
+	type arcRef struct{ node, i int }
+	blockArcs := make([][]arcRef, n)
+	for i, b := range blocks {
+		w := int64(b.Weight / scale)
+		switch {
+		case b.HasWeight && w > 0:
+			n1, a1 := g.addArc(inNode(i), outNode(i), w, costReward)
+			n2, a2 := g.addArc(inNode(i), outNode(i), infCap, costExceed)
+			blockArcs[i] = []arcRef{{n1, a1}, {n2, a2}}
+		case b.HasWeight:
+			n1, a1 := g.addArc(inNode(i), outNode(i), infCap, costColdUse)
+			blockArcs[i] = []arcRef{{n1, a1}}
+		default:
+			n1, a1 := g.addArc(inNode(i), outNode(i), infCap, 0)
+			blockArcs[i] = []arcRef{{n1, a1}}
+		}
+	}
+
+	// CFG edge arcs.
+	type edgeKey struct{ b, s int }
+	edgeArcs := map[edgeKey]arcRef{}
+	for i, b := range blocks {
+		for si, s := range b.Term.Succs {
+			j, ok := idx[s]
+			if !ok {
+				continue
+			}
+			nn, ai := g.addArc(outNode(i), inNode(j), infCap, costEdge)
+			edgeArcs[edgeKey{i, si}] = arcRef{nn, ai}
+			_ = j
+		}
+	}
+
+	// Virtual source/sink and the circulation-closing arc.
+	g.addArc(S, inNode(0), infCap, 0)
+	for i, b := range blocks {
+		if b.Term.Kind == ir.TermReturn {
+			g.addArc(outNode(i), T, infCap, 0)
+		}
+	}
+	g.addArc(T, S, infCap, 0)
+
+	res := Result{Augmentations: g.cancelNegativeCycles()}
+
+	// Read back flows.
+	for i, b := range blocks {
+		var flow int64
+		for _, ar := range blockArcs[i] {
+			flow += g.arcs[ar.node][ar.i].flow
+		}
+		w := uint64(flow) * scale
+		if !b.HasWeight || b.Weight != w {
+			res.Adjusted++
+		}
+		b.Weight = w
+		b.HasWeight = true
+		b.Term.EnsureEdgeWeights()
+		for si := range b.Term.Succs {
+			if ar, ok := edgeArcs[edgeKey{i, si}]; ok {
+				b.Term.EdgeW[si] = uint64(g.arcs[ar.node][ar.i].flow) * scale
+			}
+		}
+	}
+	return res
+}
+
+// InferProgram runs Infer on every function that carries any profile
+// weights, returning the total number of adjusted blocks.
+func InferProgram(p *ir.Program) int {
+	adjusted := 0
+	for _, f := range p.Functions() {
+		any := false
+		for _, b := range f.Blocks {
+			if b.HasWeight {
+				any = true
+				break
+			}
+		}
+		if any {
+			adjusted += Infer(f).Adjusted
+		}
+	}
+	return adjusted
+}
+
+// CheckConsistency verifies flow conservation on a function whose weights
+// and edge weights were produced by Infer: for every reachable block, the
+// sum of outgoing edge weights equals the block weight (returns the number
+// of violations; exits contribute their weight to the virtual sink).
+func CheckConsistency(f *ir.Function) int {
+	violations := 0
+	blocks := f.ReachableOrder()
+	inFlow := map[*ir.Block]uint64{}
+	for _, b := range blocks {
+		for si, s := range b.Term.Succs {
+			if si < len(b.Term.EdgeW) {
+				inFlow[s] += b.Term.EdgeW[si]
+			}
+		}
+	}
+	for i, b := range blocks {
+		if len(b.Term.Succs) > 0 {
+			var out uint64
+			for _, w := range b.Term.EdgeW {
+				out += w
+			}
+			if out != b.Weight {
+				violations++
+			}
+		}
+		// Non-entry blocks receive all their flow via CFG edges; the entry
+		// additionally receives virtual-source flow and so may exceed.
+		if i > 0 && inFlow[b] != b.Weight {
+			violations++
+		}
+	}
+	return violations
+}

@@ -1,0 +1,72 @@
+package inference
+
+import "testing"
+
+// Unit tests of the min-cost-circulation engine on hand-built graphs.
+
+func TestCancelNegativeCyclesSimple(t *testing.T) {
+	// 0 → 1 (cap 10, cost -5), 1 → 0 (cap 10, cost 1): each unit around
+	// the cycle gains 4; the engine must saturate it.
+	g := newMCF(2)
+	n1, a1 := g.addArc(0, 1, 10, -5)
+	g.addArc(1, 0, 10, 1)
+	iters := g.cancelNegativeCycles()
+	if iters == 0 {
+		t.Fatal("no cycles canceled")
+	}
+	if got := g.arcs[n1][a1].flow; got != 10 {
+		t.Fatalf("rewarding arc flow = %d, want 10 (saturated)", got)
+	}
+}
+
+func TestCancelNegativeCyclesStopsAtOptimum(t *testing.T) {
+	// Reward arc capacity 5, return path cost 3 each: profitable (−10+3<0)
+	// only through the cheap return; the expensive return (cost 20) must
+	// stay unused.
+	g := newMCF(3)
+	_, _ = g.addArc(0, 1, 5, -10)
+	nCheap, aCheap := g.addArc(1, 0, 3, 3)
+	nExp, aExp := g.addArc(1, 2, 100, 10)
+	g.addArc(2, 0, 100, 10)
+	g.cancelNegativeCycles()
+	if got := g.arcs[nCheap][aCheap].flow; got != 3 {
+		t.Fatalf("cheap return flow = %d, want 3", got)
+	}
+	// Expensive path: -10+10+10 = +10 per unit → unused.
+	if got := g.arcs[nExp][aExp].flow; got != 0 {
+		t.Fatalf("expensive return used: %d", got)
+	}
+}
+
+func TestNoNegativeCyclesNoFlow(t *testing.T) {
+	g := newMCF(3)
+	g.addArc(0, 1, 10, 1)
+	g.addArc(1, 2, 10, 1)
+	g.addArc(2, 0, 10, 1)
+	if iters := g.cancelNegativeCycles(); iters != 0 {
+		t.Fatalf("positive-cost cycle canceled %d times", iters)
+	}
+}
+
+func TestInferEmptyFunctionSafe(t *testing.T) {
+	// A function with one block and no weights must not crash.
+	f := diamond(t, ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	res := Infer(f)
+	if v := CheckConsistency(f); v != 0 {
+		t.Fatalf("violations on unweighted function: %d", v)
+	}
+	_ = res
+}
+
+func TestInferIdempotent(t *testing.T) {
+	f := diamond(t, 100, 60, 30, 100)
+	Infer(f)
+	snapshot := f.String()
+	res := Infer(f)
+	if f.String() != snapshot {
+		t.Fatal("second inference changed a consistent profile")
+	}
+	if res.Adjusted != 0 {
+		t.Fatalf("second inference adjusted %d blocks", res.Adjusted)
+	}
+}

@@ -1,0 +1,167 @@
+package ir
+
+import "sort"
+
+// CallSite is one static call instruction location within a function.
+type CallSite struct {
+	Caller *Function
+	Block  *Block
+	Index  int // instruction index within Block
+	Callee string
+}
+
+// CallGraph is the static call graph of a program.
+type CallGraph struct {
+	Prog  *Program
+	Calls map[string][]CallSite // caller name -> call sites
+	Edges map[string]map[string]bool
+	Rev   map[string]map[string]bool
+}
+
+// BuildCallGraph scans every function for direct calls.
+func BuildCallGraph(p *Program) *CallGraph {
+	cg := &CallGraph{
+		Prog:  p,
+		Calls: map[string][]CallSite{},
+		Edges: map[string]map[string]bool{},
+		Rev:   map[string]map[string]bool{},
+	}
+	for _, f := range p.Functions() {
+		cg.Edges[f.Name] = map[string]bool{}
+		if cg.Rev[f.Name] == nil {
+			cg.Rev[f.Name] = map[string]bool{}
+		}
+	}
+	for _, f := range p.Functions() {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != OpCall {
+					continue
+				}
+				cg.Calls[f.Name] = append(cg.Calls[f.Name], CallSite{Caller: f, Block: b, Index: i, Callee: in.Callee})
+				cg.Edges[f.Name][in.Callee] = true
+				if cg.Rev[in.Callee] == nil {
+					cg.Rev[in.Callee] = map[string]bool{}
+				}
+				cg.Rev[in.Callee][f.Name] = true
+			}
+		}
+	}
+	return cg
+}
+
+// SCCs returns strongly connected components in reverse topological order
+// (callees before callers), computed with Tarjan's algorithm. Each SCC is
+// sorted by name for determinism.
+func (cg *CallGraph) SCCs() [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	names := append([]string(nil), cg.Prog.Order...)
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := make([]string, 0, len(cg.Edges[v]))
+		for w := range cg.Edges[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// BottomUpOrder returns function names callees-first (Tarjan order
+// flattened). Mutually recursive functions appear in name order within
+// their SCC.
+func (cg *CallGraph) BottomUpOrder() []string {
+	var out []string
+	for _, scc := range cg.SCCs() {
+		out = append(out, scc...)
+	}
+	return out
+}
+
+// TopDownOrder returns function names callers-first.
+func (cg *CallGraph) TopDownOrder() []string {
+	bu := cg.BottomUpOrder()
+	out := make([]string, len(bu))
+	for i, n := range bu {
+		out[len(bu)-1-i] = n
+	}
+	return out
+}
+
+// InSameSCC reports whether a and b are mutually recursive (or a == b and
+// self-recursive for IsRecursive).
+func (cg *CallGraph) InSameSCC(a, b string) bool {
+	for _, scc := range cg.SCCs() {
+		ina, inb := false, false
+		for _, n := range scc {
+			if n == a {
+				ina = true
+			}
+			if n == b {
+				inb = true
+			}
+		}
+		if ina && inb {
+			return len(scc) > 1 || a == b && cg.Edges[a][a]
+		}
+	}
+	return false
+}
+
+// IsRecursive reports whether fn participates in any cycle.
+func (cg *CallGraph) IsRecursive(fn string) bool {
+	if cg.Edges[fn][fn] {
+		return true
+	}
+	for _, scc := range cg.SCCs() {
+		if len(scc) > 1 {
+			for _, n := range scc {
+				if n == fn {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

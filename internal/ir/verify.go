@@ -1,0 +1,170 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the function:
+// terminator successor arity, register indices in range, probe payload
+// presence, and that all successor blocks belong to the function.
+func (f *Function) Verify() error {
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	ids := make(map[int]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+		if ids[b.ID] {
+			return fmt.Errorf("%s: duplicate block id b%d", f.Name, b.ID)
+		}
+		ids[b.ID] = true
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", f.Name)
+	}
+	checkReg := func(r Reg, what string, b *Block) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NRegs {
+			return fmt.Errorf("%s b%d: %s register %%%d out of range [0,%d)", f.Name, b.ID, what, r, f.NRegs)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Check only the operands each opcode actually uses; unused
+			// operand fields legitimately hold the zero value.
+			var used []struct {
+				r    Reg
+				what string
+			}
+			use := func(r Reg, what string) {
+				used = append(used, struct {
+					r    Reg
+					what string
+				}{r, what})
+			}
+			switch in.Op {
+			case OpConst:
+				use(in.Dst, "dst")
+			case OpBin:
+				use(in.Dst, "dst")
+				use(in.A, "A")
+				use(in.B, "B")
+			case OpNot, OpNeg, OpMove:
+				use(in.Dst, "dst")
+				use(in.A, "A")
+			case OpLoadG:
+				use(in.Dst, "dst")
+				use(in.Index, "index")
+				if in.Global == "" {
+					return fmt.Errorf("%s b%d: global access without name", f.Name, b.ID)
+				}
+			case OpStoreG:
+				use(in.A, "A")
+				use(in.Index, "index")
+				if in.Global == "" {
+					return fmt.Errorf("%s b%d: global access without name", f.Name, b.ID)
+				}
+			case OpCall:
+				use(in.Dst, "dst")
+				for _, a := range in.Args {
+					use(a, "arg")
+				}
+				if in.Callee == "" {
+					return fmt.Errorf("%s b%d: call without callee", f.Name, b.ID)
+				}
+			case OpFuncRef:
+				use(in.Dst, "dst")
+				if in.Callee == "" {
+					return fmt.Errorf("%s b%d: funcref without target", f.Name, b.ID)
+				}
+			case OpICall:
+				use(in.Dst, "dst")
+				use(in.A, "target")
+				for _, a := range in.Args {
+					use(a, "arg")
+				}
+			case OpSelect:
+				use(in.Dst, "dst")
+				use(in.A, "A")
+				use(in.B, "B")
+				use(in.C, "C")
+			case OpProbe:
+				if in.Probe == nil {
+					return fmt.Errorf("%s b%d: probe instruction without payload", f.Name, b.ID)
+				}
+			case OpCounter:
+				// no register operands
+			default:
+				return fmt.Errorf("%s b%d: unknown opcode %d", f.Name, b.ID, in.Op)
+			}
+			for _, p := range used {
+				if err := checkReg(p.r, p.what, b); err != nil {
+					return err
+				}
+			}
+		}
+		t := &b.Term
+		want := -1
+		switch t.Kind {
+		case TermJump:
+			want = 1
+		case TermBranch:
+			want = 2
+			if err := checkReg(t.Cond, "branch cond", b); err != nil {
+				return err
+			}
+		case TermSwitch:
+			want = len(t.Cases) + 1
+			if err := checkReg(t.Cond, "switch cond", b); err != nil {
+				return err
+			}
+		case TermReturn:
+			want = 0
+			if err := checkReg(t.Val, "return val", b); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%s b%d: bad terminator kind %d", f.Name, b.ID, t.Kind)
+		}
+		if len(t.Succs) != want {
+			return fmt.Errorf("%s b%d: terminator %v wants %d succs, has %d", f.Name, b.ID, t.Kind, want, len(t.Succs))
+		}
+		for _, s := range t.Succs {
+			if !inFunc[s] {
+				return fmt.Errorf("%s b%d: successor b%d not in function", f.Name, b.ID, s.ID)
+			}
+		}
+		if len(t.EdgeW) != 0 && len(t.EdgeW) != len(t.Succs) {
+			return fmt.Errorf("%s b%d: edge weights (%d) not parallel to succs (%d)", f.Name, b.ID, len(t.EdgeW), len(t.Succs))
+		}
+	}
+	return nil
+}
+
+// Verify checks every function and that all call targets resolve.
+func (p *Program) Verify() error {
+	for _, f := range p.Functions() {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == OpCall || in.Op == OpFuncRef {
+					if _, ok := p.Funcs[in.Callee]; !ok {
+						return fmt.Errorf("%s: reference to undefined function %q", f.Name, in.Callee)
+					}
+				}
+				if in.Op == OpLoadG || in.Op == OpStoreG {
+					if _, ok := p.Globals[in.Global]; !ok {
+						return fmt.Errorf("%s: access to undefined global %q", f.Name, in.Global)
+					}
+				}
+			}
+		}
+	}
+	if _, ok := p.Funcs["main"]; !ok {
+		return fmt.Errorf("program has no main function")
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package irgen lowers MiniLang ASTs to the compiler IR, attaching debug
+// locations (function + absolute source line) to every instruction the way
+// a production frontend feeds DWARF line info.
+package irgen
+
+import (
+	"fmt"
+
+	"csspgo/internal/ir"
+	"csspgo/internal/source"
+)
+
+// Lower lowers one or more parsed files into a single IR program. Each
+// file's name becomes the module id of the functions it defines,
+// reproducing the compilation-unit partitioning that ThinLTO sees.
+func Lower(files ...*source.File) (*ir.Program, error) {
+	p := ir.NewProgram()
+	for _, f := range files {
+		for _, g := range f.Globals {
+			if _, dup := p.Globals[g.Name]; dup {
+				return nil, fmt.Errorf("%s: global %q redefined", f.Name, g.Name)
+			}
+			init := make([]int64, g.Size)
+			copy(init, g.Init)
+			p.AddGlobal(&ir.Global{Name: g.Name, Size: g.Size, Init: init})
+		}
+	}
+	for _, f := range files {
+		for _, fn := range f.Funcs {
+			if _, dup := p.Funcs[fn.Name]; dup {
+				return nil, fmt.Errorf("%s: function %q redefined", f.Name, fn.Name)
+			}
+			lowered, err := lowerFunc(p, f.Name, fn)
+			if err != nil {
+				return nil, err
+			}
+			p.AddFunc(lowered)
+		}
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// fnLower carries per-function lowering state.
+//
+// Register allocation mirrors a real frontend's virtual-register / stack
+// slot discipline: parameters and named locals get persistent registers
+// [0, tempBase), while expression temporaries are drawn from a pool that
+// resets at every statement boundary. Reusing temp registers is what lets
+// identical statements in sibling blocks produce identical code — the
+// precondition for tail merging downstream.
+type fnLower struct {
+	prog   *ir.Program
+	fn     *ir.Function
+	cur    *ir.Block
+	scopes []map[string]ir.Reg
+	breaks []*ir.Block // innermost-last loop/switch break targets
+	conts  []*ir.Block // innermost-last loop continue targets
+	// isSealed records whether cur.Term was explicitly written; the zero
+	// Terminator value is indistinguishable from "ret 0" otherwise.
+	isSealed bool
+
+	nextPersistent int // next persistent register
+	tempBase       int // first temp register (== total persistent count)
+	tempNext       int // next temp register
+}
+
+func lowerFunc(prog *ir.Program, module string, decl *source.FuncDecl) (*ir.Function, error) {
+	f := ir.NewFunction(decl.Name, decl.Params)
+	f.Module = module
+	f.StartLine = int32(decl.Line)
+	lw := &fnLower{prog: prog, fn: f, cur: f.Entry()}
+	lw.nextPersistent = len(decl.Params)
+	lw.tempBase = len(decl.Params) + countVarDecls(decl.Body)
+	lw.tempNext = lw.tempBase
+	if f.NRegs < lw.tempBase {
+		f.NRegs = lw.tempBase
+	}
+	lw.pushScope()
+	for i, name := range decl.Params {
+		if _, dup := lw.scopes[0][name]; dup {
+			return nil, fmt.Errorf("%s: duplicate parameter %q", decl.Name, name)
+		}
+		lw.scopes[0][name] = ir.Reg(i)
+	}
+	if err := lw.blockStmt(decl.Body); err != nil {
+		return nil, fmt.Errorf("%s: %w", decl.Name, err)
+	}
+	// Implicit `return 0` when control falls off the end.
+	if !lw.terminated() {
+		lw.cur.Term = ir.Terminator{Kind: ir.TermReturn, Val: ir.NoReg}
+	}
+	f.RemoveUnreachable()
+	return f, nil
+}
+
+// countVarDecls counts named-local declarations in a statement tree.
+func countVarDecls(s source.Stmt) int {
+	n := 0
+	switch st := s.(type) {
+	case *source.BlockStmt:
+		for _, sub := range st.Stmts {
+			n += countVarDecls(sub)
+		}
+	case *source.VarStmt:
+		n = 1
+	case *source.IfStmt:
+		n = countVarDecls(st.Then)
+		if st.Else != nil {
+			n += countVarDecls(st.Else)
+		}
+	case *source.WhileStmt:
+		n = countVarDecls(st.Body)
+	case *source.ForStmt:
+		if st.Init != nil {
+			n += countVarDecls(st.Init)
+		}
+		if st.Post != nil {
+			n += countVarDecls(st.Post)
+		}
+		n += countVarDecls(st.Body)
+	case *source.SwitchStmt:
+		for _, b := range st.Bodies {
+			n += countVarDecls(b)
+		}
+		if st.Default != nil {
+			n += countVarDecls(st.Default)
+		}
+	}
+	return n
+}
+
+// newTemp allocates an expression temporary from the per-statement pool.
+func (lw *fnLower) newTemp() ir.Reg {
+	r := ir.Reg(lw.tempNext)
+	lw.tempNext++
+	if lw.fn.NRegs < lw.tempNext {
+		lw.fn.NRegs = lw.tempNext
+	}
+	return r
+}
+
+// newPersistent allocates a register for a named local.
+func (lw *fnLower) newPersistent() ir.Reg {
+	r := ir.Reg(lw.nextPersistent)
+	lw.nextPersistent++
+	return r
+}
+
+// resetTemps releases all statement temporaries.
+func (lw *fnLower) resetTemps() { lw.tempNext = lw.tempBase }
+
+func (lw *fnLower) pushScope() { lw.scopes = append(lw.scopes, map[string]ir.Reg{}) }
+func (lw *fnLower) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *fnLower) lookup(name string) (ir.Reg, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if r, ok := lw.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return ir.NoReg, false
+}
+
+func (lw *fnLower) loc(line int) *ir.Loc {
+	return &ir.Loc{Func: lw.fn.Name, Line: int32(line)}
+}
+
+// terminated reports whether the current block already has a terminator.
+func (lw *fnLower) terminated() bool { return lw.isSealed }
+
+func (lw *fnLower) emit(in ir.Instr) {
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+}
+
+func (lw *fnLower) seal(t ir.Terminator) {
+	lw.cur.Term = t
+	lw.isSealed = true
+}
+
+func (lw *fnLower) moveTo(b *ir.Block) {
+	lw.cur = b
+	lw.isSealed = false
+}

@@ -1,0 +1,272 @@
+// Package machine models the fully linked binary: a linear sequence of
+// variable-size machine instructions with byte addresses, a symbol table,
+// DWARF-like line/inline debug tables, and — when pseudo-instrumentation is
+// enabled — a self-contained probe metadata section mapping probes to the
+// addresses of their anchor instructions. The profilers (internal/sim) run
+// this program; the profile generators (internal/sampling) and the
+// pre-inliner (internal/preinline) read its tables exactly the way the
+// paper's tooling reads a production binary.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"csspgo/internal/ir"
+)
+
+// Kind enumerates machine instruction kinds.
+type Kind uint8
+
+// Machine instruction kinds.
+const (
+	KConst    Kind = iota // Dst = Value
+	KOp                   // ALU: Dst = A <Bin> B / not / neg
+	KSelect               // Dst = A != 0 ? B : C (cmov)
+	KLoad                 // Dst = globals[GlobalOff (+ reg Index)]
+	KStore                // globals[GlobalOff (+ reg Index)] = A
+	KBranch               // conditional; taken → Target, else fall through
+	KJump                 // unconditional → Target
+	KCall                 // call function CalleeID, result → Dst
+	KTailCall             // frame-reusing jump to CalleeID (TCE)
+	KICall                // indirect call: target function id in register A
+	KRet                  // return value in A (−1 ⇒ 0)
+	KCounter              // instrumentation: counters[CounterID]++
+)
+
+var kindNames = [...]string{
+	KConst: "const", KOp: "op", KSelect: "select", KLoad: "load", KStore: "store",
+	KBranch: "br", KJump: "jmp", KCall: "call", KTailCall: "tcall", KICall: "icall",
+	KRet: "ret", KCounter: "cnt",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Byte size of each instruction kind (x86-64-flavoured).
+var kindSizes = [...]uint32{
+	KConst: 5, KOp: 3, KSelect: 4, KLoad: 4, KStore: 4,
+	KBranch: 2, KJump: 2, KCall: 5, KTailCall: 5, KICall: 3, KRet: 1, KCounter: 7,
+}
+
+// SizeOf returns the encoded byte size of an instruction kind.
+func SizeOf(k Kind) uint32 { return kindSizes[k] }
+
+// Instr is one machine instruction. Operand registers index the executing
+// frame's register file; -1 means absent.
+type Instr struct {
+	Addr uint64
+	Size uint32
+	Kind Kind
+
+	Op  ir.Opcode  // KOp: OpBin/OpNot/OpNeg; KSelect: OpSelect
+	Bin ir.BinKind // KOp with Op==OpBin
+
+	Dst, A, B, C int32
+	Value        int64
+
+	GlobalOff int32 // KLoad/KStore: base offset into global storage
+	Index     int32 // KLoad/KStore: index register, -1 for scalar access
+
+	Target    uint64 // KBranch/KJump/KCall/KTailCall destination address
+	BranchNeg bool   // KBranch: take when cond == 0 instead of != 0
+	CalleeID  int32  // KCall/KTailCall
+	ArgRegs   []int32
+
+	CounterID int32 // KCounter
+
+	Loc *ir.Loc // debug line info with inline chain; nil if stripped
+}
+
+// IsTakenBranchKind reports whether executing the instruction can produce an
+// LBR record (calls, returns and jumps are taken branches; KBranch only
+// when taken — the simulator decides that dynamically).
+func (in *Instr) IsTakenBranchKind() bool {
+	switch in.Kind {
+	case KBranch, KJump, KCall, KTailCall, KICall, KRet:
+		return true
+	}
+	return false
+}
+
+// Func is a binary symbol: one function's hot range plus an optional cold
+// (split) range.
+type Func struct {
+	ID        int32
+	Name      string
+	GUID      uint64
+	Module    string
+	Start     uint64 // hot section [Start, End)
+	End       uint64
+	ColdStart uint64 // cold section [ColdStart, ColdEnd); 0,0 when not split
+	ColdEnd   uint64
+	NumRegs   int32
+	NumParams int32
+	StartLine int32 // source line of the func declaration (from debug info)
+}
+
+// Contains reports whether addr belongs to the function (hot or cold part).
+func (f *Func) Contains(addr uint64) bool {
+	return addr >= f.Start && addr < f.End ||
+		f.ColdEnd > f.ColdStart && addr >= f.ColdStart && addr < f.ColdEnd
+}
+
+// ProbeRec is one materialized pseudo-probe metadata record: the probe's
+// identity (defining function, ID, kind, inline context, duplication
+// factor) and the address of the physical anchor instruction it was
+// attached to in the final binary.
+type ProbeRec struct {
+	Func      string
+	ID        int32
+	Kind      ir.ProbeKind
+	Factor    float64
+	InlinedAt *ir.ProbeSite
+	Addr      uint64
+}
+
+// CounterKey identifies what an instrumentation counter counts.
+type CounterKey struct {
+	Func string
+	ID   int32 // block probe id within Func
+}
+
+// Prog is the linked binary.
+type Prog struct {
+	Instrs     []Instr // address-sorted, contiguous
+	Funcs      []*Func
+	FuncByName map[string]*Func
+
+	GlobalSize int
+	GlobalInit []int64
+	GlobalOff  map[string]int32
+
+	// Probe metadata section (pseudo-instrumentation). Never consulted by
+	// the simulator's execution path — it is not "loaded at run time".
+	Probes    []ProbeRec
+	Checksums map[string]uint64 // function -> CFG checksum at build time
+
+	// Instrumentation (Instr PGO) counter table.
+	NumCounters int32
+	CounterKeys []CounterKey
+
+	// Instrumented marks a counter-instrumented binary; the simulator then
+	// also collects exact per-site indirect-call target value profiles
+	// (and charges for the bookkeeping), mirroring instrumentation PGO's
+	// value profiling.
+	Instrumented bool
+
+	EntryAddr uint64 // address of main's first instruction
+
+	// Section size accounting (bytes).
+	TextSize      uint64
+	DebugSize     uint64 // DWARF-like line+inline tables (-g2)
+	ProbeMetaSize uint64
+
+	addrIndex []uint64 // Instrs[i].Addr cache for binary search
+	probeAt   map[uint64][]int
+}
+
+// Freeze finalizes lookup structures after construction.
+func (p *Prog) Freeze() {
+	p.addrIndex = make([]uint64, len(p.Instrs))
+	for i := range p.Instrs {
+		p.addrIndex[i] = p.Instrs[i].Addr
+	}
+	p.probeAt = make(map[uint64][]int, len(p.Probes))
+	for i := range p.Probes {
+		p.probeAt[p.Probes[i].Addr] = append(p.probeAt[p.Probes[i].Addr], i)
+	}
+}
+
+// InstrIndexAt returns the index of the instruction at addr, or -1.
+func (p *Prog) InstrIndexAt(addr uint64) int {
+	i := sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] >= addr })
+	if i < len(p.addrIndex) && p.addrIndex[i] == addr {
+		return i
+	}
+	return -1
+}
+
+// InstrAt returns the instruction at addr, or nil.
+func (p *Prog) InstrAt(addr uint64) *Instr {
+	if i := p.InstrIndexAt(addr); i >= 0 {
+		return &p.Instrs[i]
+	}
+	return nil
+}
+
+// NextInstrAddr returns the address just past the instruction at addr.
+func (p *Prog) NextInstrAddr(addr uint64) uint64 {
+	in := p.InstrAt(addr)
+	if in == nil {
+		return addr
+	}
+	return in.Addr + uint64(in.Size)
+}
+
+// FuncAt returns the function covering addr (hot or cold range), or nil.
+func (p *Prog) FuncAt(addr uint64) *Func {
+	for _, f := range p.Funcs {
+		if f.Contains(addr) {
+			return f
+		}
+	}
+	return nil
+}
+
+// ProbesAt returns probe metadata records anchored at addr.
+func (p *Prog) ProbesAt(addr uint64) []ProbeRec {
+	var out []ProbeRec
+	for _, i := range p.probeAt[addr] {
+		out = append(out, p.Probes[i])
+	}
+	return out
+}
+
+// Frame is one logical (possibly inlined) frame at an address.
+type Frame struct {
+	Func string
+	Line int32
+	Disc int32
+}
+
+// InlinedFramesAt returns the logical frames at addr, leaf-first, derived
+// from the debug inline table (the Loc chain). A plain instruction yields
+// one frame. Returns nil for unknown addresses or stripped debug info.
+func (p *Prog) InlinedFramesAt(addr uint64) []Frame {
+	in := p.InstrAt(addr)
+	if in == nil || in.Loc == nil {
+		return nil
+	}
+	var out []Frame
+	for l := in.Loc; l != nil; l = l.Parent {
+		out = append(out, Frame{Func: l.Func, Line: l.Line, Disc: l.Disc})
+	}
+	return out
+}
+
+// FramesEqual reports element-wise equality of two frame stacks.
+func FramesEqual(a, b []Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InstrsIn returns the instruction index range [lo, hi) covering the
+// address range [start, end] (inclusive of the instruction at end).
+func (p *Prog) InstrsIn(start, end uint64) (lo, hi int) {
+	lo = sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] >= start })
+	hi = sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] > end })
+	return lo, hi
+}
+
+// String summarizes the binary.
+func (p *Prog) String() string {
+	return fmt.Sprintf("binary{funcs=%d instrs=%d text=%dB debug=%dB probemeta=%dB counters=%d}",
+		len(p.Funcs), len(p.Instrs), p.TextSize, p.DebugSize, p.ProbeMetaSize, p.NumCounters)
+}

@@ -1,0 +1,22 @@
+package machine
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// Save serializes the binary with gob (the reproduction's "object file
+// format"). Lookup caches are rebuilt on load.
+func (p *Prog) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// ReadProg deserializes a binary and rebuilds lookup structures.
+func ReadProg(r io.Reader) (*Prog, error) {
+	var p Prog
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	p.Freeze()
+	return &p, nil
+}

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"csspgo/internal/ir"
+)
+
+func TestProgGobRoundTrip(t *testing.T) {
+	p := &Prog{
+		Instrs: []Instr{
+			{Addr: 0x1000, Size: 5, Kind: KConst, Dst: 0, Value: 7,
+				Loc: &ir.Loc{Func: "main", Line: 2}},
+			{Addr: 0x1005, Size: 1, Kind: KRet, A: 0},
+		},
+		Funcs:      []*Func{{ID: 0, Name: "main", Start: 0x1000, End: 0x1006, NumRegs: 3}},
+		FuncByName: map[string]*Func{},
+		GlobalInit: []int64{1, 2, 3},
+		GlobalSize: 3,
+		GlobalOff:  map[string]int32{"g": 0},
+		Probes: []ProbeRec{{Func: "main", ID: 1, Addr: 0x1000, Factor: 1,
+			InlinedAt: &ir.ProbeSite{Func: "outer", CallID: 4}}},
+		Checksums: map[string]uint64{"main": 42},
+		EntryAddr: 0x1000,
+	}
+	p.FuncByName["main"] = p.Funcs[0]
+	p.Freeze()
+	p.ComputeSizes()
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.InstrAt(0x1000) == nil || q.InstrAt(0x1005) == nil {
+		t.Fatal("address index not rebuilt")
+	}
+	if q.FuncByName["main"].Start != 0x1000 {
+		t.Fatal("symbol table lost")
+	}
+	if len(q.ProbesAt(0x1000)) != 1 {
+		t.Fatal("probe index not rebuilt")
+	}
+	if q.Probes[0].InlinedAt == nil || q.Probes[0].InlinedAt.Func != "outer" {
+		t.Fatal("probe inline chain lost")
+	}
+	if q.Checksums["main"] != 42 || q.TextSize != p.TextSize {
+		t.Fatal("metadata lost")
+	}
+	if q.Instrs[0].Loc == nil || q.Instrs[0].Loc.Func != "main" {
+		t.Fatal("debug info lost")
+	}
+}

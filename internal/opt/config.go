@@ -1,0 +1,127 @@
+// Package opt implements the optimization pipeline: profile annotation,
+// profile-guided and static inlining, SimplifyCFG with tail merging, LICM,
+// loop unrolling, if-conversion, dead-code elimination, tail-call
+// elimination, Ext-TSP-style block layout and hot/cold function splitting —
+// each maintaining profile data the way the paper's Fig. 1 "profile
+// maintenance" component requires, and each interacting with pseudo-probes
+// per the configured barrier strength.
+package opt
+
+import "csspgo/internal/profdata"
+
+// BarrierStrength says how strongly probes block control-flow-merging
+// optimizations (the paper's tunable overhead/accuracy knob, §III.A).
+type BarrierStrength uint8
+
+const (
+	// BarrierNone: no probes present, or probes ignored entirely.
+	BarrierNone BarrierStrength = iota
+	// BarrierWeak: the production pseudo-instrumentation tuning — tail
+	// merge is blocked (probe signatures differ per block) but if-convert
+	// and similar critical optimizations were fine-tuned to proceed,
+	// trading a sliver of profile accuracy for near-zero overhead.
+	BarrierWeak
+	// BarrierStrong: traditional instrumentation semantics — counters
+	// block both code merge and if-conversion.
+	BarrierStrong
+)
+
+// InlineParams tunes the inliners.
+type InlineParams struct {
+	// SizeThreshold admits callees up to this many real (non-probe)
+	// instructions for static inlining.
+	SizeThreshold int
+	// HotThreshold admits callees at hot call sites up to this size.
+	HotThreshold int
+	// TinyThreshold always inlines callees at or below this size, even at
+	// cold call sites.
+	TinyThreshold int
+	// HotCallsiteFraction: a call site is hot when its block weight is at
+	// least this fraction (x1000) of the function's entry weight.
+	HotCallsiteFraction int
+	// GrowthCap stops inlining into a caller once it exceeds this many
+	// instructions.
+	GrowthCap int
+	// ImportThreshold bounds cross-module (ThinLTO summary import)
+	// inlining: callees larger than this cannot be imported unless a
+	// pre-inliner decision forces them.
+	ImportThreshold int
+}
+
+// DefaultInlineParams returns -O2-flavoured inlining thresholds.
+func DefaultInlineParams() InlineParams {
+	return InlineParams{
+		SizeThreshold:       18,
+		HotThreshold:        60,
+		TinyThreshold:       6,
+		HotCallsiteFraction: 500,
+		GrowthCap:           700,
+		ImportThreshold:     30,
+	}
+}
+
+// Config drives one compilation's optimization pipeline.
+type Config struct {
+	// Profile is the input PGO profile (nil for a training build).
+	Profile *profdata.Profile
+	// UsePreInlineDecisions honors ShouldInline decisions persisted in a
+	// context-sensitive profile by the offline pre-inliner.
+	UsePreInlineDecisions bool
+	// Barrier is the probe barrier strength in effect.
+	Barrier BarrierStrength
+	// Inference runs MCF profile inference after annotation (profi).
+	Inference bool
+	// Inline tunes both inliners.
+	Inline InlineParams
+	// UnrollFactor for hot loops (profiled builds); training builds unroll
+	// tiny loops by 2. 0 disables unrolling.
+	UnrollFactor int
+	// EnableTCE turns call+return pairs into frame-reusing tail calls.
+	EnableTCE bool
+	// Layout reorders blocks by edge weights (needs a profile).
+	Layout bool
+	// Split moves never-sampled blocks of hot functions into the cold
+	// section (needs a profile).
+	Split bool
+	// DisableICP turns off indirect-call promotion.
+	DisableICP bool
+	// SelectiveInlining damps the bottom-up inliner's hot-site boost —
+	// used by full CSSPGO, where the pre-inliner already made the global
+	// hot-path decisions and extra static inlining only grows code.
+	SelectiveInlining bool
+	// CSHotContextThreshold: when using a CS profile without pre-inliner
+	// decisions, contexts at least this hot are inlined by the top-down
+	// sample inliner.
+	CSHotContextThreshold uint64
+}
+
+// TrainingConfig is the -O2, no-PGO pipeline used to build profiling
+// binaries.
+func TrainingConfig() *Config {
+	return &Config{
+		Inline:       DefaultInlineParams(),
+		UnrollFactor: 2, // static unrolling of small loops, like -O2
+		EnableTCE:    true,
+		Barrier:      BarrierNone,
+	}
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	AnnotatedFuncs   int
+	StaleFuncs       int
+	InferenceAdjust  int
+	SampleInlines    int
+	StaticInlines    int
+	TailMerges       int
+	TailMergeBlocked int
+	IfConverts       int
+	IfConvertBlocked int
+	Unrolled         int
+	LICMHoisted      int
+	DCERemoved       int
+	TailCalls        int
+	SplitBlocks      int
+	LayoutFuncs      int
+	ICPromotions     int
+}

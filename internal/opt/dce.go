@@ -1,0 +1,46 @@
+package opt
+
+import "csspgo/internal/ir"
+
+// DCE removes pure instructions whose results are never used, iterating to
+// a fixed point. Probes, counters, stores and calls are never removed.
+// Returns the number of instructions deleted.
+func DCE(f *ir.Function) int {
+	removed := 0
+	for {
+		out := liveOut(f)
+		changed := false
+		for _, b := range f.Blocks {
+			live := out[b].clone()
+			termUses(&b.Term, live.set)
+			// Walk backwards, deleting dead pure defs.
+			kept := b.Instrs[:0]
+			// Collect deletions first (backward), then rebuild forward.
+			dead := make([]bool, len(b.Instrs))
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := &b.Instrs[i]
+				d := def(in)
+				if !hasSideEffects(in) && d >= 0 && !live.has(d) {
+					dead[i] = true
+					continue
+				}
+				if d >= 0 {
+					live.clear(d)
+				}
+				uses(in, live.set)
+			}
+			for i := range b.Instrs {
+				if dead[i] {
+					removed++
+					changed = true
+					continue
+				}
+				kept = append(kept, b.Instrs[i])
+			}
+			b.Instrs = append([]ir.Instr(nil), kept...)
+		}
+		if !changed {
+			return removed
+		}
+	}
+}

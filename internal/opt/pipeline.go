@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"csspgo/internal/inference"
+	"csspgo/internal/ir"
+	"csspgo/internal/profdata"
+)
+
+// Optimize runs the full pipeline over the program, mirroring the paper's
+// Fig. 1 flow: profile annotation + inference, profile-guided top-down
+// inlining (sample loader / early inliner), the scalar and control-flow
+// pipeline (SimplifyCFG, DCE, LICM, unroll, if-convert, tail merge), the
+// main bottom-up inliner, tail-call elimination, then the profile-consuming
+// backend passes (layout, splitting) after a final inference pass restores
+// flow consistency.
+func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
+	st := &Stats{}
+	// Record ThinLTO summary sizes on pristine bodies (importability is
+	// decided on summaries, not on transformed IR).
+	for _, f := range p.Functions() {
+		if f.SummarySize == 0 {
+			f.SummarySize = realSize(f)
+		}
+	}
+	prof := cfg.Profile
+	if prof != nil {
+		prof = prof.Clone() // the pipeline consumes/mutates the profile
+		if prof.CS {
+			PrepareCSProfile(prof, cfg.UsePreInlineDecisions, cfg.CSHotContextThreshold)
+		}
+		a := Annotate(p, prof)
+		st.AnnotatedFuncs = a.Annotated
+		st.StaleFuncs = a.Stale
+		if cfg.Inference {
+			st.InferenceAdjust = inference.InferProgram(p)
+		}
+		// ICP needs the flat target histograms before the CS inliner
+		// consumes the context table.
+		var flatView *profdata.Profile
+		if !cfg.DisableICP {
+			flatView = prof
+			if prof.CS {
+				flatView = prof.Clone()
+				flatView.Flatten()
+			}
+		}
+		// Top-down profile-guided inlining.
+		if prof.CS {
+			st.SampleInlines = SampleInlineCS(p, prof, st)
+		} else {
+			st.SampleInlines = SampleInlineAutoFDO(p, cfg.Inline)
+		}
+		// Indirect-call promotion runs after the sample inliner (so the
+		// hot wrappers are already merged into their callers and promotion
+		// does not inflate them out of inlining range) and before the
+		// bottom-up inliner (so promoted direct calls can inline).
+		if !cfg.DisableICP {
+			st.ICPromotions = ICPProgram(p, flatView, DefaultICPParams())
+		}
+	}
+
+	// Early cleanup.
+	for _, f := range p.Functions() {
+		r := SimplifyCFG(f, false, cfg.Barrier)
+		_ = r
+		st.DCERemoved += DCE(f)
+	}
+
+	// Main bottom-up inliner.
+	inl := cfg.Inline
+	if cfg.SelectiveInlining {
+		// The pre-inliner already claimed the hot paths; the static pass
+		// only picks up cheap wins.
+		inl.HotThreshold = inl.SizeThreshold
+	}
+	st.StaticInlines = BottomUpInline(p, inl, prof != nil)
+
+	// Scalar/control-flow pipeline per function.
+	for _, f := range p.Functions() {
+		st.LICMHoisted += LICM(f)
+		if cfg.UnrollFactor >= 2 {
+			params := UnrollParams{Factor: cfg.UnrollFactor, MaxBodyInstrs: 10}
+			if prof != nil {
+				params.HotWeight = hotLoopThreshold(f)
+				params.MaxBodyInstrs = 24
+			}
+			st.Unrolled += Unroll(f, params)
+		}
+		ic := IfConvert(f, cfg.Barrier, 3)
+		st.IfConverts += ic.Converted
+		st.IfConvertBlocked += ic.Blocked
+		sr := SimplifyCFG(f, true, cfg.Barrier)
+		st.TailMerges += sr.TailMerges
+		st.TailMergeBlocked += sr.TailMergeBlocked
+		st.DCERemoved += DCE(f)
+		if cfg.EnableTCE {
+			st.TailCalls += TCE(f)
+		}
+	}
+
+	if prof != nil {
+		if cfg.Inference {
+			inference.InferProgram(p)
+		}
+		if cfg.Layout {
+			st.LayoutFuncs = LayoutProgram(p)
+		}
+		if cfg.Split {
+			st.SplitBlocks = SplitProgram(p)
+		}
+	}
+
+	for _, f := range p.Functions() {
+		f.RemoveUnreachable()
+	}
+	DropDeadFunctions(p)
+	if err := p.Verify(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// hotLoopThreshold derives a per-function hotness bar for unrolling: a
+// multiple of the entry count, so only loops iterating many times per call
+// qualify.
+func hotLoopThreshold(f *ir.Function) uint64 {
+	if !f.HasProfile || f.EntryCount == 0 {
+		return 1
+	}
+	return f.EntryCount * 2
+}
+
+// FlattenForAutoFDO converts any profile into the context-insensitive view
+// AutoFDO consumes (used when feeding a CS profile to a non-CS pipeline in
+// ablations).
+func FlattenForAutoFDO(prof *profdata.Profile) *profdata.Profile {
+	q := prof.Clone()
+	q.Flatten()
+	return q
+}

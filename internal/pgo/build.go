@@ -1,0 +1,316 @@
+// Package pgo assembles the end-to-end PGO variants the paper evaluates —
+// a plain -O2 baseline, AutoFDO (debug-info sampling PGO), probe-only
+// CSSPGO (pseudo-instrumentation without context sensitivity), full CSSPGO
+// (pseudo-instrumentation + context-sensitive profiling + pre-inliner) and
+// traditional instrumentation-based PGO — and the train → profile →
+// re-optimize → evaluate workflow connecting them.
+package pgo
+
+import (
+	"fmt"
+
+	"csspgo/internal/codegen"
+	"csspgo/internal/ir"
+	"csspgo/internal/irgen"
+	"csspgo/internal/machine"
+	"csspgo/internal/opt"
+	"csspgo/internal/preinline"
+	"csspgo/internal/probe"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sampling"
+	"csspgo/internal/sim"
+	"csspgo/internal/source"
+)
+
+// Variant names a PGO flavour.
+type Variant string
+
+// The PGO variants under study.
+const (
+	Baseline  Variant = "baseline"  // -O2, no profile
+	AutoFDO   Variant = "autofdo"   // sampling PGO, debug-info correlation
+	ProbeOnly Variant = "probeonly" // CSSPGO with pseudo-probes only
+	FullCS    Variant = "csspgo"    // CSSPGO with context sensitivity + pre-inliner
+	InstrPGO  Variant = "instr"     // traditional instrumentation PGO
+)
+
+// BuildConfig controls one compilation.
+type BuildConfig struct {
+	Probes     bool // insert pseudo-probes
+	Instrument bool // materialize probes as counters (training Instr PGO)
+	Profile    *profdata.Profile
+	// UsePreInlineDecisions honors ShouldInline bits in a CS profile.
+	UsePreInlineDecisions bool
+	// CSHotContextThreshold drives compile-time context retention when no
+	// pre-inline decisions exist.
+	CSHotContextThreshold uint64
+	// StripProbeMeta drops probe metadata from the binary (AutoFDO builds).
+	StripProbeMeta bool
+	// UnrollFactor for profiled builds (0 = default policy).
+	UnrollFactor int
+	// DisableInference turns off MCF profile inference (ablations; the
+	// drift experiment uses it to isolate raw correlation quality).
+	DisableInference bool
+	// DisableICP turns off indirect-call promotion (ablations).
+	DisableICP bool
+}
+
+// BuildResult bundles a compilation's artifacts.
+type BuildResult struct {
+	Bin     *machine.Prog
+	IR      *ir.Program // post-optimization IR
+	FreshIR *ir.Program // pre-optimization (probed) IR snapshot, for quality metrics
+	Stats   *opt.Stats
+}
+
+// Build parses nothing — it consumes already-parsed files — lowers them,
+// optionally inserts probes, optimizes per the config and emits a binary.
+func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
+	prog, err := irgen.Lower(files...)
+	if err != nil {
+		return nil, fmt.Errorf("pgo: lower: %w", err)
+	}
+	if cfg.Probes {
+		probe.InsertProgram(prog)
+	}
+	fresh := ir.CloneProgram(prog)
+
+	ocfg := &opt.Config{
+		Profile:               cfg.Profile,
+		UsePreInlineDecisions: cfg.UsePreInlineDecisions,
+		CSHotContextThreshold: cfg.CSHotContextThreshold,
+		Inference:             cfg.Profile != nil && !cfg.DisableInference,
+		DisableICP:            cfg.DisableICP,
+		Inline:                opt.DefaultInlineParams(),
+		EnableTCE:             true,
+		Layout:                cfg.Profile != nil,
+		Split:                 cfg.Profile != nil,
+	}
+	switch {
+	case cfg.Instrument:
+		ocfg.Barrier = opt.BarrierStrong
+	case cfg.Probes:
+		ocfg.Barrier = opt.BarrierWeak
+	default:
+		ocfg.Barrier = opt.BarrierNone
+	}
+	if cfg.Profile != nil {
+		ocfg.UnrollFactor = 4
+	} else {
+		ocfg.UnrollFactor = 2 // static -O2-style unrolling of tiny loops
+	}
+	if cfg.UnrollFactor != 0 {
+		ocfg.UnrollFactor = cfg.UnrollFactor
+	}
+	ocfg.SelectiveInlining = cfg.UsePreInlineDecisions
+
+	stats, err := opt.Optimize(prog, ocfg)
+	if err != nil {
+		return nil, fmt.Errorf("pgo: optimize: %w", err)
+	}
+	bin, err := codegen.Lower(prog, codegen.Options{
+		Instrument:     cfg.Instrument,
+		StripProbeMeta: cfg.StripProbeMeta || !cfg.Probes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pgo: codegen: %w", err)
+	}
+	return &BuildResult{Bin: bin, IR: prog, FreshIR: fresh, Stats: stats}, nil
+}
+
+// ProfileConfig controls profile collection on a training binary.
+type ProfileConfig struct {
+	Period uint64 // sampling period in retired taken branches
+	PEBS   bool
+	Stacks bool // synchronized stack sampling (CSSPGO)
+}
+
+// DefaultProfileConfig returns production-like sampling settings.
+func DefaultProfileConfig() ProfileConfig {
+	return ProfileConfig{Period: 797, PEBS: true, Stacks: true}
+}
+
+// CollectSamples runs the request stream on the binary under the PMU and
+// returns samples plus execution stats.
+func CollectSamples(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]sim.Sample, sim.Stats, error) {
+	cfg := sim.PMUConfig{
+		SamplePeriod: pc.Period,
+		LBRDepth:     16,
+		PEBS:         pc.PEBS,
+		SampleStacks: pc.Stacks,
+		Jitter:       true,
+		Seed:         0x5eed,
+	}
+	m := sim.New(bin, sim.DefaultCostParams(), cfg)
+	for _, req := range requests {
+		if _, err := m.Run(req...); err != nil {
+			return nil, sim.Stats{}, err
+		}
+	}
+	return m.Samples(), m.Stats(), nil
+}
+
+// CollectCounters runs the request stream on an instrumented binary and
+// returns its counters plus execution stats (whose cycle count reveals the
+// instrumentation overhead).
+func CollectCounters(bin *machine.Prog, requests [][]int64) ([]uint64, sim.Stats, error) {
+	counters, _, stats, err := CollectCountersAndValues(bin, requests)
+	return counters, stats, err
+}
+
+// CollectCountersAndValues additionally returns the exact indirect-call
+// value profiles the instrumented run gathered.
+func CollectCountersAndValues(bin *machine.Prog, requests [][]int64) ([]uint64, map[uint64]map[int32]uint64, sim.Stats, error) {
+	m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+	for _, req := range requests {
+		if _, err := m.Run(req...); err != nil {
+			return nil, nil, sim.Stats{}, err
+		}
+	}
+	return m.Counters(), m.ValueProfile(), m.Stats(), nil
+}
+
+// Evaluate runs the request stream without any profiling and returns stats.
+func Evaluate(bin *machine.Prog, requests [][]int64) (sim.Stats, error) {
+	m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+	for _, req := range requests {
+		if _, err := m.Run(req...); err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	return m.Stats(), nil
+}
+
+// Pipeline runs the full train → profile → optimize flow for a variant and
+// returns the optimized build plus the profile it used (nil for Baseline).
+// All PGO variants train on the plain -O2 baseline binary appropriate to
+// their correlation mechanism (probe-less for AutoFDO, probed for the
+// pseudo-instrumentation variants, counter-instrumented for Instr PGO).
+func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildResult, *profdata.Profile, error) {
+	switch variant {
+	case Baseline:
+		res, err := Build(files, BuildConfig{Probes: false})
+		return res, nil, err
+
+	case AutoFDO:
+		base, err := Build(files, BuildConfig{Probes: false})
+		if err != nil {
+			return nil, nil, err
+		}
+		pc := DefaultProfileConfig()
+		pc.Stacks = false // AutoFDO collects LBR only
+		samples, _, err := CollectSamples(base.Bin, train, pc)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof := sampling.GenerateAutoFDO(base.Bin, samples)
+		res, err := Build(files, BuildConfig{Probes: false, Profile: prof})
+		return res, prof, err
+
+	case ProbeOnly:
+		base, err := Build(files, BuildConfig{Probes: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		pc := DefaultProfileConfig()
+		pc.Stacks = false
+		samples, _, err := CollectSamples(base.Bin, train, pc)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof := sampling.GenerateProbeProfile(base.Bin, samples)
+		res, err := Build(files, BuildConfig{Probes: true, Profile: prof})
+		return res, prof, err
+
+	case FullCS:
+		base, err := Build(files, BuildConfig{Probes: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		samples, _, err := CollectSamples(base.Bin, train, DefaultProfileConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.DefaultCSSPGOOptions())
+		// Cold-context trimming keeps the CS profile comparable in size to
+		// a regular profile (§III.B), then the pre-inliner makes global
+		// top-down decisions with binary-extracted sizes (Algorithms 2+3).
+		prof.TrimColdContexts(trimThreshold(prof))
+		sizes := preinline.ExtractSizes(base.Bin)
+		preinline.Run(prof, sizes, preinline.DeriveParams(prof))
+		res, err := Build(files, BuildConfig{
+			Probes:                true,
+			Profile:               prof,
+			UsePreInlineDecisions: true,
+		})
+		return res, prof, err
+
+	case InstrPGO:
+		base, err := Build(files, BuildConfig{Probes: true, Instrument: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		counters, vprof, _, err := CollectCountersAndValues(base.Bin, train)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof := sampling.GenerateInstrProfileWithValues(base.Bin, counters, vprof)
+		res, err := Build(files, BuildConfig{Probes: true, Profile: prof})
+		return res, prof, err
+	}
+	return nil, nil, fmt.Errorf("pgo: unknown variant %q", variant)
+}
+
+// CollectProfileFor profiles an existing training build and generates the
+// profile the given variant consumes. The training build must match the
+// variant (probed for ProbeOnly/FullCS, instrumented for InstrPGO,
+// probe-less for AutoFDO); Baseline yields nil.
+func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*profdata.Profile, error) {
+	switch variant {
+	case Baseline:
+		return nil, nil
+	case AutoFDO:
+		pc := DefaultProfileConfig()
+		pc.Stacks = false
+		samples, _, err := CollectSamples(base.Bin, train, pc)
+		if err != nil {
+			return nil, err
+		}
+		return sampling.GenerateAutoFDO(base.Bin, samples), nil
+	case ProbeOnly:
+		pc := DefaultProfileConfig()
+		pc.Stacks = false
+		samples, _, err := CollectSamples(base.Bin, train, pc)
+		if err != nil {
+			return nil, err
+		}
+		return sampling.GenerateProbeProfile(base.Bin, samples), nil
+	case FullCS:
+		samples, _, err := CollectSamples(base.Bin, train, DefaultProfileConfig())
+		if err != nil {
+			return nil, err
+		}
+		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.DefaultCSSPGOOptions())
+		prof.TrimColdContexts(trimThreshold(prof))
+		sizes := preinline.ExtractSizes(base.Bin)
+		preinline.Run(prof, sizes, preinline.DeriveParams(prof))
+		return prof, nil
+	case InstrPGO:
+		counters, vprof, _, err := CollectCountersAndValues(base.Bin, train)
+		if err != nil {
+			return nil, err
+		}
+		return sampling.GenerateInstrProfileWithValues(base.Bin, counters, vprof), nil
+	}
+	return nil, fmt.Errorf("pgo: unknown variant %q", variant)
+}
+
+// trimThreshold picks a cold-context trim threshold: contexts below 0.05%
+// of total samples are folded into base profiles.
+func trimThreshold(prof *profdata.Profile) uint64 {
+	t := prof.TotalSamples() / 2000
+	if t < 2 {
+		t = 2
+	}
+	return t
+}

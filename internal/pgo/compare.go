@@ -1,0 +1,69 @@
+package pgo
+
+import (
+	"fmt"
+
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+	"csspgo/internal/workloads"
+)
+
+// VariantResult is one PGO variant's outcome on a workload.
+type VariantResult struct {
+	Variant      Variant
+	Build        *BuildResult
+	Profile      *profdata.Profile
+	Eval         sim.Stats
+	CyclesPerReq float64
+}
+
+// Comparison evaluates several PGO variants on one workload with identical
+// train and eval streams.
+type Comparison struct {
+	Workload *workloads.Workload
+	Results  map[Variant]*VariantResult
+	Order    []Variant
+}
+
+// Compare trains, builds and evaluates each variant.
+func Compare(w *workloads.Workload, variants []Variant) (*Comparison, error) {
+	c := &Comparison{Workload: w, Results: map[Variant]*VariantResult{}}
+	for _, v := range variants {
+		res, prof, err := Pipeline(w.Files, v, w.Train)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, v, err)
+		}
+		eval, err := Evaluate(res.Bin, w.Eval)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s eval: %w", w.Name, v, err)
+		}
+		c.Results[v] = &VariantResult{
+			Variant:      v,
+			Build:        res,
+			Profile:      prof,
+			Eval:         eval,
+			CyclesPerReq: float64(eval.Cycles) / float64(len(w.Eval)),
+		}
+		c.Order = append(c.Order, v)
+	}
+	return c, nil
+}
+
+// ImprovementOver returns the percentage cycle improvement of variant v
+// over the base variant (positive = v is faster).
+func (c *Comparison) ImprovementOver(base, v Variant) float64 {
+	b, x := c.Results[base], c.Results[v]
+	if b == nil || x == nil || b.Eval.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(b.Eval.Cycles) - float64(x.Eval.Cycles)) / float64(b.Eval.Cycles)
+}
+
+// SizeRatio returns variant v's text size relative to base (1.0 = equal).
+func (c *Comparison) SizeRatio(base, v Variant) float64 {
+	b, x := c.Results[base], c.Results[v]
+	if b == nil || x == nil || b.Build.Bin.TextSize == 0 {
+		return 0
+	}
+	return float64(x.Build.Bin.TextSize) / float64(b.Build.Bin.TextSize)
+}

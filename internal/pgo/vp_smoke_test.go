@@ -1,0 +1,27 @@
+package pgo
+
+import "testing"
+
+func TestValueProfileExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := RunValueProfile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	// Instr PGO's exact value profiles should promote at least as many
+	// sites as any sampling variant.
+	var instrProm, bestSampled int
+	for _, row := range r.Rows {
+		if row.Variant == InstrPGO {
+			instrProm = row.Promotions
+		} else if row.Promotions > bestSampled {
+			bestSampled = row.Promotions
+		}
+	}
+	if instrProm < bestSampled {
+		t.Errorf("instr promotions (%d) below sampled best (%d)", instrProm, bestSampled)
+	}
+}

@@ -1,0 +1,132 @@
+// Package probe implements pseudo-instrumentation (paper §III.A): a pass
+// that inserts one pseudo-probe intrinsic per basic block and assigns a
+// call probe to every call site, early in the pipeline before any
+// aggressive transformation. Probes are profile-correlation anchors: they
+// flow through the optimizer as intrinsic instructions and are materialized
+// by codegen as *metadata only* (no machine instructions) — unless
+// instrumentation mode is requested, in which case the same probes
+// materialize as real counter increments (traditional instrumentation PGO
+// shares this infrastructure).
+package probe
+
+import (
+	"fmt"
+
+	"csspgo/internal/ir"
+)
+
+// InsertProgram inserts probes into every function of the program.
+func InsertProgram(p *ir.Program) {
+	for _, f := range p.Functions() {
+		Insert(f)
+	}
+}
+
+// Insert instruments one function: a block probe at the head of every basic
+// block and a call probe on every call instruction. Probe IDs are assigned
+// deterministically (block order, then instruction order), so recompiling
+// identical source reproduces identical IDs — the property profile
+// correlation relies on. The function's CFG checksum is computed and stored
+// alongside, which lets profile annotation detect stale profiles whose CFG
+// shape no longer matches (source drift detection).
+func Insert(f *ir.Function) {
+	if f.NumProbes > 0 {
+		return // already instrumented
+	}
+	next := int32(1)
+	for _, b := range f.Blocks {
+		bp := ir.Instr{
+			Op:    ir.OpProbe,
+			Dst:   ir.NoReg,
+			Probe: &ir.Probe{Func: f.Name, ID: next, Kind: ir.ProbeBlock, Factor: 1},
+		}
+		next++
+		b.Instrs = append([]ir.Instr{bp}, b.Instrs...)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if (in.Op == ir.OpCall || in.Op == ir.OpICall) && in.Probe == nil {
+				in.Probe = &ir.Probe{Func: f.Name, ID: next, Kind: ir.ProbeCall, Factor: 1}
+				next++
+			}
+		}
+	}
+	f.NumProbes = next - 1
+	f.Checksum = f.CFGChecksum()
+}
+
+// BlockProbe returns the block probe heading b, or nil if b has none (e.g.
+// probes were never inserted).
+func BlockProbe(b *ir.Block) *ir.Probe {
+	for i := range b.Instrs {
+		if b.Instrs[i].Op == ir.OpProbe {
+			return b.Instrs[i].Probe
+		}
+	}
+	return nil
+}
+
+// Index maps a function's own (non-inlined) probe IDs back to the blocks
+// and call sites currently carrying them. Multiple blocks may carry copies
+// of the same probe after duplication (unrolling); all are returned.
+type Index struct {
+	Blocks map[int32][]*ir.Block // block-probe ID -> blocks carrying a copy
+	Calls  map[int32][]*ir.Instr // call-probe ID -> call instructions
+}
+
+// BuildIndex scans f for probes that belong to f itself (InlinedAt == nil).
+func BuildIndex(f *ir.Function) *Index {
+	idx := &Index{Blocks: map[int32][]*ir.Block{}, Calls: map[int32][]*ir.Instr{}}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Probe == nil || in.Probe.Func != f.Name || in.Probe.InlinedAt != nil {
+				continue
+			}
+			switch in.Probe.Kind {
+			case ir.ProbeBlock:
+				idx.Blocks[in.Probe.ID] = append(idx.Blocks[in.Probe.ID], b)
+			case ir.ProbeCall:
+				idx.Calls[in.Probe.ID] = append(idx.Calls[in.Probe.ID], in)
+			}
+		}
+	}
+	return idx
+}
+
+// Verify checks probe invariants after insertion: every block has exactly
+// one block probe at its head, every call carries a call probe, and IDs are
+// unique within the function.
+func Verify(f *ir.Function) error {
+	seen := map[int32]bool{}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 || b.Instrs[0].Op != ir.OpProbe {
+			return fmt.Errorf("%s b%d: missing leading block probe", f.Name, b.ID)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpProbe && i > 0 {
+				return fmt.Errorf("%s b%d: stray probe at position %d", f.Name, b.ID, i)
+			}
+			var p *ir.Probe
+			switch {
+			case in.Op == ir.OpProbe:
+				p = in.Probe
+			case in.Op == ir.OpCall, in.Op == ir.OpICall:
+				if in.Probe == nil {
+					return fmt.Errorf("%s b%d: call without call probe", f.Name, b.ID)
+				}
+				p = in.Probe
+			default:
+				continue
+			}
+			if p.InlinedAt != nil || p.Func != f.Name {
+				continue // inlined probes may repeat IDs of their origin
+			}
+			if seen[p.ID] {
+				return fmt.Errorf("%s: duplicate probe id %d", f.Name, p.ID)
+			}
+			seen[p.ID] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package profdata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The compact binary profile format ("extbinary" analogue): a magic header,
+// an interned string table built on the fly, and varint-packed sections.
+// Field-for-field equivalent to the text format; Decode auto-detects which
+// of the two it is reading.
+
+// binMagic starts every binary profile.
+var binMagic = [4]byte{'C', 'S', 'P', 'F'}
+
+const binVersion = 1
+
+type binWriter struct {
+	buf     bytes.Buffer
+	strings map[string]uint64
+}
+
+func (w *binWriter) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf.Write(tmp[:n])
+}
+
+func (w *binWriter) str(s string) {
+	if idx, ok := w.strings[s]; ok {
+		w.uvarint(idx + 1)
+		return
+	}
+	w.strings[s] = uint64(len(w.strings))
+	w.uvarint(0) // new-string marker
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *binWriter) loc(l LocKey) {
+	w.uvarint(uint64(uint32(l.ID)))
+	w.uvarint(uint64(uint32(l.Disc)))
+}
+
+func (w *binWriter) funcProfile(fp *FunctionProfile) {
+	flags := uint64(0)
+	if fp.ShouldInline {
+		flags |= 1
+	}
+	w.uvarint(flags)
+	w.uvarint(fp.HeadSamples)
+	w.uvarint(fp.Checksum)
+	locs := fp.SortedLocs()
+	w.uvarint(uint64(len(locs)))
+	for _, loc := range locs {
+		w.loc(loc)
+		w.uvarint(fp.Blocks[loc])
+	}
+	clocs := fp.SortedCallLocs()
+	w.uvarint(uint64(len(clocs)))
+	for _, loc := range clocs {
+		w.loc(loc)
+		m := fp.Calls[loc]
+		callees := make([]string, 0, len(m))
+		for c := range m {
+			callees = append(callees, c)
+		}
+		sortStrings(callees)
+		w.uvarint(uint64(len(callees)))
+		for _, c := range callees {
+			w.str(c)
+			w.uvarint(m[c])
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// EncodeBinary renders the profile in the compact binary format.
+func EncodeBinary(p *Profile) []byte {
+	w := &binWriter{strings: map[string]uint64{}}
+	w.buf.Write(binMagic[:])
+	w.buf.WriteByte(binVersion)
+	flags := byte(0)
+	if p.Kind == ProbeBased {
+		flags |= 1
+	}
+	if p.CS {
+		flags |= 2
+	}
+	w.buf.WriteByte(flags)
+
+	names := p.SortedFuncNames()
+	w.uvarint(uint64(len(names)))
+	for _, name := range names {
+		w.str(name)
+		w.funcProfile(p.Funcs[name])
+	}
+	keys := p.SortedContextKeys()
+	w.uvarint(uint64(len(keys)))
+	for _, key := range keys {
+		fp := p.Contexts[key]
+		w.uvarint(uint64(len(fp.Context)))
+		for i, fr := range fp.Context {
+			w.str(fr.Func)
+			if i != len(fp.Context)-1 {
+				w.loc(fr.Site)
+			}
+		}
+		w.funcProfile(fp)
+	}
+	return w.buf.Bytes()
+}
+
+type binReader struct {
+	r       *bytes.Reader
+	strings []string
+}
+
+func (r *binReader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+func (r *binReader) str() (string, error) {
+	tag, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if tag == 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("profdata: string length %d implausible", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return "", err
+		}
+		s := string(b)
+		r.strings = append(r.strings, s)
+		return s, nil
+	}
+	idx := tag - 1
+	if idx >= uint64(len(r.strings)) {
+		return "", fmt.Errorf("profdata: string index %d out of range", idx)
+	}
+	return r.strings[idx], nil
+}
+
+func (r *binReader) loc() (LocKey, error) {
+	id, err := r.uvarint()
+	if err != nil {
+		return LocKey{}, err
+	}
+	disc, err := r.uvarint()
+	if err != nil {
+		return LocKey{}, err
+	}
+	return LocKey{ID: int32(uint32(id)), Disc: int32(uint32(disc))}, nil
+}
+
+func (r *binReader) funcProfile(fp *FunctionProfile) error {
+	flags, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	fp.ShouldInline = flags&1 != 0
+	if fp.HeadSamples, err = r.uvarint(); err != nil {
+		return err
+	}
+	if fp.Checksum, err = r.uvarint(); err != nil {
+		return err
+	}
+	nb, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nb; i++ {
+		loc, err := r.loc()
+		if err != nil {
+			return err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		fp.AddBody(loc, n)
+	}
+	nc, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nc; i++ {
+		loc, err := r.loc()
+		if err != nil {
+			return err
+		}
+		nt, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nt; j++ {
+			callee, err := r.str()
+			if err != nil {
+				return err
+			}
+			n, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			fp.AddCall(loc, callee, n)
+		}
+	}
+	return nil
+}
+
+// DecodeBinary parses a binary profile.
+func DecodeBinary(data []byte) (*Profile, error) {
+	if !IsBinaryProfile(data) {
+		return nil, fmt.Errorf("profdata: not a binary profile")
+	}
+	if data[4] != binVersion {
+		return nil, fmt.Errorf("profdata: unsupported binary profile version %d", data[4])
+	}
+	flags := data[5]
+	kind := LineBased
+	if flags&1 != 0 {
+		kind = ProbeBased
+	}
+	p := New(kind, flags&2 != 0)
+	r := &binReader{r: bytes.NewReader(data[6:])}
+
+	nf, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nf; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.funcProfile(p.FuncProfile(name)); err != nil {
+			return nil, err
+		}
+	}
+	nctx, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nctx; i++ {
+		depth, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if depth == 0 || depth > 1024 {
+			return nil, fmt.Errorf("profdata: context depth %d implausible", depth)
+		}
+		ctx := make(Context, depth)
+		for j := uint64(0); j < depth; j++ {
+			fn, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			ctx[j].Func = fn
+			if j != depth-1 {
+				if ctx[j].Site, err = r.loc(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := r.funcProfile(p.ContextProfile(ctx)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// IsBinaryProfile reports whether data starts with the binary magic.
+func IsBinaryProfile(data []byte) bool {
+	return len(data) >= 6 && bytes.Equal(data[:4], binMagic[:])
+}
+
+// DecodeAny parses either format, auto-detected.
+func DecodeAny(data []byte) (*Profile, error) {
+	if IsBinaryProfile(data) {
+		return DecodeBinary(data)
+	}
+	return DecodeString(string(data))
+}
+
+// BinarySizeBytes is the size of the compact encoding.
+func (p *Profile) BinarySizeBytes() int { return len(EncodeBinary(p)) }

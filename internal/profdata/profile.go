@@ -1,0 +1,297 @@
+// Package profdata defines the profile representation shared by every PGO
+// variant in the reproduction: flat (context-insensitive) function profiles
+// as produced by AutoFDO-style profiling, and context-sensitive profiles
+// keyed by full calling context as produced by the CSSPGO profiler. It also
+// implements the profile text format, merging, cold-context trimming and
+// size accounting.
+package profdata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind says how body locations are keyed.
+type Kind uint8
+
+// Profile kinds.
+const (
+	// LineBased keys body counts by (line offset from function start,
+	// discriminator) — debug-info correlation (AutoFDO).
+	LineBased Kind = iota
+	// ProbeBased keys body counts by pseudo-probe ID (CSSPGO).
+	ProbeBased
+)
+
+func (k Kind) String() string {
+	if k == ProbeBased {
+		return "probe"
+	}
+	return "line"
+}
+
+// LocKey identifies a profile body location: a probe ID (probe-based) or a
+// line offset + discriminator (line-based).
+type LocKey struct {
+	ID   int32
+	Disc int32
+}
+
+func (l LocKey) String() string {
+	if l.Disc != 0 {
+		return fmt.Sprintf("%d.%d", l.ID, l.Disc)
+	}
+	return fmt.Sprintf("%d", l.ID)
+}
+
+// FunctionProfile is the profile of one function, either context-insensitive
+// (Context empty) or for one specific calling context.
+type FunctionProfile struct {
+	Name    string
+	Context Context // empty for base profiles
+
+	// Checksum is the CFG checksum recorded at collection time (probe-based
+	// profiles only); annotation rejects the profile when it no longer
+	// matches the IR being compiled.
+	Checksum uint64
+
+	TotalSamples uint64 // sum of body samples
+	HeadSamples  uint64 // entry count (times this context/function was entered)
+
+	Blocks map[LocKey]uint64            // body location -> count
+	Calls  map[LocKey]map[string]uint64 // call location -> callee -> count
+
+	// ShouldInline is the pre-inliner's persisted decision that this
+	// context should be inlined into its caller (CS profiles only).
+	ShouldInline bool
+}
+
+// NewFunctionProfile returns an empty profile for name.
+func NewFunctionProfile(name string) *FunctionProfile {
+	return &FunctionProfile{
+		Name:   name,
+		Blocks: map[LocKey]uint64{},
+		Calls:  map[LocKey]map[string]uint64{},
+	}
+}
+
+// AddBody accumulates a body sample count at loc.
+func (fp *FunctionProfile) AddBody(loc LocKey, n uint64) {
+	if n == 0 {
+		return
+	}
+	fp.Blocks[loc] += n
+	fp.TotalSamples += n
+}
+
+// AddCall accumulates a call-target count at loc.
+func (fp *FunctionProfile) AddCall(loc LocKey, callee string, n uint64) {
+	if n == 0 {
+		return
+	}
+	m := fp.Calls[loc]
+	if m == nil {
+		m = map[string]uint64{}
+		fp.Calls[loc] = m
+	}
+	m[callee] += n
+}
+
+// BodyAt returns the body count at loc.
+func (fp *FunctionProfile) BodyAt(loc LocKey) uint64 { return fp.Blocks[loc] }
+
+// CallTotalAt sums call-target counts at loc.
+func (fp *FunctionProfile) CallTotalAt(loc LocKey) uint64 {
+	var t uint64
+	for _, n := range fp.Calls[loc] {
+		t += n
+	}
+	return t
+}
+
+// Merge adds src's counts into fp (same function; contexts may differ —
+// merging a context profile into a base profile drops the context).
+func (fp *FunctionProfile) Merge(src *FunctionProfile) {
+	for loc, n := range src.Blocks {
+		fp.Blocks[loc] += n
+	}
+	fp.TotalSamples += src.TotalSamples
+	fp.HeadSamples += src.HeadSamples
+	for loc, m := range src.Calls {
+		for callee, n := range m {
+			fp.AddCall(loc, callee, n)
+		}
+	}
+	if fp.Checksum == 0 {
+		fp.Checksum = src.Checksum
+	}
+}
+
+// Scale multiplies every count by num/den (used by profile maintenance when
+// slicing or scaling inlined-body profiles).
+func (fp *FunctionProfile) Scale(num, den uint64) {
+	if den == 0 {
+		return
+	}
+	scale := func(v uint64) uint64 { return v * num / den }
+	fp.TotalSamples = 0
+	for loc := range fp.Blocks {
+		fp.Blocks[loc] = scale(fp.Blocks[loc])
+		fp.TotalSamples += fp.Blocks[loc]
+	}
+	fp.HeadSamples = scale(fp.HeadSamples)
+	for _, m := range fp.Calls {
+		for callee := range m {
+			m[callee] = scale(m[callee])
+		}
+	}
+}
+
+// Clone deep-copies the profile.
+func (fp *FunctionProfile) Clone() *FunctionProfile {
+	out := NewFunctionProfile(fp.Name)
+	out.Context = append(Context(nil), fp.Context...)
+	out.Checksum = fp.Checksum
+	out.TotalSamples = fp.TotalSamples
+	out.HeadSamples = fp.HeadSamples
+	out.ShouldInline = fp.ShouldInline
+	for loc, n := range fp.Blocks {
+		out.Blocks[loc] = n
+	}
+	for loc, m := range fp.Calls {
+		nm := make(map[string]uint64, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		out.Calls[loc] = nm
+	}
+	return out
+}
+
+// SortedLocs returns body locations in deterministic order.
+func (fp *FunctionProfile) SortedLocs() []LocKey {
+	locs := make([]LocKey, 0, len(fp.Blocks))
+	for l := range fp.Blocks {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].ID != locs[j].ID {
+			return locs[i].ID < locs[j].ID
+		}
+		return locs[i].Disc < locs[j].Disc
+	})
+	return locs
+}
+
+// SortedCallLocs returns call locations in deterministic order.
+func (fp *FunctionProfile) SortedCallLocs() []LocKey {
+	locs := make([]LocKey, 0, len(fp.Calls))
+	for l := range fp.Calls {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].ID != locs[j].ID {
+			return locs[i].ID < locs[j].ID
+		}
+		return locs[i].Disc < locs[j].Disc
+	})
+	return locs
+}
+
+// Profile is a whole-program profile.
+type Profile struct {
+	Kind Kind
+	// CS marks a context-sensitive profile (Contexts populated).
+	CS bool
+	// Funcs holds base (context-insensitive) profiles by function name.
+	Funcs map[string]*FunctionProfile
+	// Contexts holds context profiles by canonical context key.
+	Contexts map[string]*FunctionProfile
+}
+
+// New returns an empty profile.
+func New(kind Kind, cs bool) *Profile {
+	return &Profile{
+		Kind:     kind,
+		CS:       cs,
+		Funcs:    map[string]*FunctionProfile{},
+		Contexts: map[string]*FunctionProfile{},
+	}
+}
+
+// FuncProfile returns the base profile for name, creating it on demand.
+func (p *Profile) FuncProfile(name string) *FunctionProfile {
+	fp := p.Funcs[name]
+	if fp == nil {
+		fp = NewFunctionProfile(name)
+		p.Funcs[name] = fp
+	}
+	return fp
+}
+
+// ContextProfile returns the context profile for ctx, creating on demand.
+func (p *Profile) ContextProfile(ctx Context) *FunctionProfile {
+	key := ctx.Key()
+	fp := p.Contexts[key]
+	if fp == nil {
+		fp = NewFunctionProfile(ctx.Leaf())
+		fp.Context = append(Context(nil), ctx...)
+		p.Contexts[key] = fp
+	}
+	return fp
+}
+
+// ContextsOf returns all context profiles whose leaf function is name, in
+// deterministic key order.
+func (p *Profile) ContextsOf(name string) []*FunctionProfile {
+	var keys []string
+	for k, fp := range p.Contexts {
+		if fp.Name == name {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]*FunctionProfile, len(keys))
+	for i, k := range keys {
+		out[i] = p.Contexts[k]
+	}
+	return out
+}
+
+// SortedFuncNames returns base profile names sorted.
+func (p *Profile) SortedFuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedContextKeys returns context keys sorted.
+func (p *Profile) SortedContextKeys() []string {
+	keys := make([]string, 0, len(p.Contexts))
+	for k := range p.Contexts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalSamples sums all body samples in the profile.
+func (p *Profile) TotalSamples() uint64 {
+	var t uint64
+	for _, fp := range p.Funcs {
+		t += fp.TotalSamples
+	}
+	for _, fp := range p.Contexts {
+		t += fp.TotalSamples
+	}
+	return t
+}
+
+// String summarizes the profile.
+func (p *Profile) String() string {
+	return fmt.Sprintf("profile{kind=%s cs=%v funcs=%d contexts=%d samples=%d}",
+		p.Kind, p.CS, len(p.Funcs), len(p.Contexts), p.TotalSamples())
+}

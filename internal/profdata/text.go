@@ -1,0 +1,209 @@
+package profdata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The profile text format, modeled on llvm-profdata's extended binary /
+// text sample formats but kept line-oriented:
+//
+//	# csspgo-profile kind=probe cs=1
+//	[main]
+//	head 12
+//	checksum 8374
+//	body 1 100
+//	body 4.1 50
+//	call 3 helper 25
+//	[main:3 @ helper]
+//	shouldinline
+//	head 25
+//	body 1 25
+//
+// Sections are emitted in deterministic (sorted) order. TotalSamples is
+// recomputed from body lines on read.
+
+// Encode writes the profile in text form.
+func Encode(w io.Writer, p *Profile) error {
+	bw := bufio.NewWriter(w)
+	cs := 0
+	if p.CS {
+		cs = 1
+	}
+	fmt.Fprintf(bw, "# csspgo-profile kind=%s cs=%d\n", p.Kind, cs)
+	writeFP := func(header string, fp *FunctionProfile) {
+		fmt.Fprintf(bw, "[%s]\n", header)
+		if fp.ShouldInline {
+			fmt.Fprintf(bw, "shouldinline\n")
+		}
+		if fp.HeadSamples != 0 {
+			fmt.Fprintf(bw, "head %d\n", fp.HeadSamples)
+		}
+		if fp.Checksum != 0 {
+			fmt.Fprintf(bw, "checksum %d\n", fp.Checksum)
+		}
+		for _, loc := range fp.SortedLocs() {
+			fmt.Fprintf(bw, "body %s %d\n", loc, fp.Blocks[loc])
+		}
+		for _, loc := range fp.SortedCallLocs() {
+			callees := make([]string, 0, len(fp.Calls[loc]))
+			for c := range fp.Calls[loc] {
+				callees = append(callees, c)
+			}
+			sort.Strings(callees)
+			for _, c := range callees {
+				fmt.Fprintf(bw, "call %s %s %d\n", loc, c, fp.Calls[loc][c])
+			}
+		}
+	}
+	for _, name := range p.SortedFuncNames() {
+		writeFP(name, p.Funcs[name])
+	}
+	for _, key := range p.SortedContextKeys() {
+		writeFP(key, p.Contexts[key])
+	}
+	return bw.Flush()
+}
+
+// EncodeToString returns the text encoding.
+func EncodeToString(p *Profile) string {
+	var sb strings.Builder
+	_ = Encode(&sb, p)
+	return sb.String()
+}
+
+// SizeBytes returns the size of the text encoding — the profile-size metric
+// used by the scalability experiments (§III.B "Scalability").
+func (p *Profile) SizeBytes() int { return len(EncodeToString(p)) }
+
+func parseLocKey(s string) (LocKey, error) {
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		id, err := strconv.ParseInt(s[:dot], 10, 32)
+		if err != nil {
+			return LocKey{}, err
+		}
+		disc, err := strconv.ParseInt(s[dot+1:], 10, 32)
+		if err != nil {
+			return LocKey{}, err
+		}
+		return LocKey{ID: int32(id), Disc: int32(disc)}, nil
+	}
+	id, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return LocKey{}, err
+	}
+	return LocKey{ID: int32(id)}, nil
+}
+
+// Decode parses a text profile.
+func Decode(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var p *Profile
+	var cur *FunctionProfile
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if p == nil {
+				kind := LineBased
+				if strings.Contains(line, "kind=probe") {
+					kind = ProbeBased
+				}
+				p = New(kind, strings.Contains(line, "cs=1"))
+			}
+			continue
+		}
+		if p == nil {
+			return nil, fmt.Errorf("line %d: missing profile header", lineNo)
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("line %d: malformed section %q", lineNo, line)
+			}
+			key := line[1 : len(line)-1]
+			if strings.Contains(key, " @ ") || strings.Contains(key, ":") {
+				ctx, err := ParseContext(key)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				cur = p.ContextProfile(ctx)
+			} else {
+				cur = p.FuncProfile(key)
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: data before any section", lineNo)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "shouldinline":
+			cur.ShouldInline = true
+		case "head":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: bad head", lineNo)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.HeadSamples = v
+		case "checksum":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: bad checksum", lineNo)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.Checksum = v
+		case "body":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: bad body", lineNo)
+			}
+			loc, err := parseLocKey(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.AddBody(loc, v)
+		case "call":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: bad call", lineNo)
+			}
+			loc, err := parseLocKey(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			v, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.AddCall(loc, fields[2], v)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("empty profile")
+	}
+	return p, nil
+}
+
+// DecodeString parses a text profile from a string.
+func DecodeString(s string) (*Profile, error) { return Decode(strings.NewReader(s)) }

@@ -1,0 +1,124 @@
+package quality
+
+import (
+	"testing"
+
+	"csspgo/internal/ir"
+	"csspgo/internal/irgen"
+	"csspgo/internal/probe"
+	"csspgo/internal/profdata"
+	"csspgo/internal/source"
+)
+
+// prog builds a call-free diamond so block-probe IDs are predictable:
+// main entry=1, then=2, else=3, join=4 (call probes would interleave).
+func prog(t testing.TB) *ir.Program {
+	t.Helper()
+	f, err := source.Parse("m", `
+func main(a) {
+	var r = 0;
+	if (a > 0) { r = a + 1; } else { r = a - 1; }
+	return r;
+}
+func one(x) { return x + 1; }
+func two(x) { return x - 1; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := irgen.Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.InsertProgram(p)
+	return p
+}
+
+func mkProfile(weights map[string]map[int32]uint64) *profdata.Profile {
+	p := profdata.New(profdata.ProbeBased, false)
+	for fn, blocks := range weights {
+		fp := p.FuncProfile(fn)
+		for id, w := range blocks {
+			fp.AddBody(profdata.LocKey{ID: id}, w)
+		}
+		fp.HeadSamples = fp.BodyAt(profdata.LocKey{ID: 1})
+	}
+	return p
+}
+
+func TestIdenticalProfilesOverlapFully(t *testing.T) {
+	p := prog(t)
+	gt := mkProfile(map[string]map[int32]uint64{
+		"main": {1: 100, 2: 70, 3: 30, 4: 100},
+		"one":  {1: 70},
+		"two":  {1: 30},
+	})
+	if d := BlockOverlap(p, gt, gt); d < 0.999 {
+		t.Fatalf("self-overlap = %f, want 1.0", d)
+	}
+}
+
+func TestDisjointProfilesOverlapZero(t *testing.T) {
+	p := prog(t)
+	a := mkProfile(map[string]map[int32]uint64{"main": {2: 100}})
+	b := mkProfile(map[string]map[int32]uint64{"main": {3: 100}})
+	if d := BlockOverlap(p, a, b); d > 0.001 {
+		t.Fatalf("disjoint overlap = %f, want 0", d)
+	}
+}
+
+func TestPartialOverlap(t *testing.T) {
+	p := prog(t)
+	gt := mkProfile(map[string]map[int32]uint64{"main": {2: 50, 3: 50}})
+	test := mkProfile(map[string]map[int32]uint64{"main": {2: 100}})
+	d := BlockOverlap(p, test, gt)
+	// test puts 100% on block 2, gt 50%: min(1.0, 0.5) = 0.5.
+	if d < 0.45 || d > 0.55 {
+		t.Fatalf("partial overlap = %f, want ~0.5", d)
+	}
+}
+
+func TestOverlapIsWeightedByTestShare(t *testing.T) {
+	p := prog(t)
+	// main matches perfectly (hot in test); `one` is wildly wrong but has
+	// few test samples — weighting by the test profile keeps D high.
+	gt := mkProfile(map[string]map[int32]uint64{
+		"main": {1: 100, 2: 100},
+		"one":  {1: 100},
+	})
+	test := mkProfile(map[string]map[int32]uint64{
+		"main": {1: 990, 2: 990},
+		"one":  {1: 10}, // matches gt's distribution exactly, actually
+	})
+	d := BlockOverlap(p, test, gt)
+	if d < 0.95 {
+		t.Fatalf("weighted overlap = %f", d)
+	}
+}
+
+func TestCSProfileFlattenedForOverlap(t *testing.T) {
+	p := prog(t)
+	gt := mkProfile(map[string]map[int32]uint64{"one": {1: 100}})
+	cs := profdata.New(profdata.ProbeBased, true)
+	cp := cs.ContextProfile(profdata.NewContext("main", 3, "one"))
+	cp.AddBody(profdata.LocKey{ID: 1}, 60)
+	cp2 := cs.ContextProfile(profdata.NewContext("main", 4, "one"))
+	cp2.AddBody(profdata.LocKey{ID: 1}, 40)
+	d := BlockOverlap(p, cs, gt)
+	if d < 0.999 {
+		t.Fatalf("flattened CS overlap = %f, want 1.0 (60+40 vs 100 on one block)", d)
+	}
+	// The input CS profile must not have been destroyed.
+	if len(cs.Contexts) != 2 {
+		t.Fatal("BlockOverlap mutated its input profile")
+	}
+}
+
+func TestEmptyTestProfile(t *testing.T) {
+	p := prog(t)
+	gt := mkProfile(map[string]map[int32]uint64{"main": {1: 10}})
+	empty := profdata.New(profdata.ProbeBased, false)
+	if d := BlockOverlap(p, empty, gt); d != 0 {
+		t.Fatalf("empty test profile overlap = %f", d)
+	}
+}

@@ -1,0 +1,108 @@
+package sampling
+
+import (
+	"csspgo/internal/ir"
+	"csspgo/internal/machine"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+)
+
+// CSSPGOOptions configures context-sensitive profile generation.
+type CSSPGOOptions struct {
+	// TailCallInference enables the missing-frame inferrer.
+	TailCallInference bool
+	// MaxContextDepth truncates contexts to the innermost N frames
+	// (0 = unlimited). Deep recursion otherwise explodes the context space.
+	MaxContextDepth int
+	// AssumeAligned disables skid detection: the unwinder trusts every
+	// stack sample to be synchronized with the LBR (correct only under
+	// PEBS). Exists for the PEBS ablation — without PEBS it corrupts
+	// contexts exactly the way the paper warns about.
+	AssumeAligned bool
+}
+
+// DefaultCSSPGOOptions returns the production defaults.
+func DefaultCSSPGOOptions() CSSPGOOptions {
+	return CSSPGOOptions{TailCallInference: true, MaxContextDepth: 6}
+}
+
+// GenerateCSSPGO builds a context-sensitive, probe-keyed profile from
+// synchronized LBR + stack samples: the full CSSPGO profiler. Every linear
+// range is attributed under the calling context recovered by the virtual
+// unwinder; probes covered by the range accumulate counts in the profile of
+// their full context (physical calling context extended with the probe's
+// own inline chain).
+func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions) (*profdata.Profile, UnwindStats) {
+	var tails *TailCallGraph
+	if opts.TailCallInference {
+		tails = BuildTailCallGraph(bin, samples)
+	}
+	u := NewUnwinder(bin, tails)
+	u.AssumeAligned = opts.AssumeAligned
+	p := profdata.New(profdata.ProbeBased, true)
+
+	for _, s := range samples {
+		for _, cr := range u.Unwind(s) {
+			leafFn := bin.FuncAt(cr.R.Begin)
+			if leafFn == nil {
+				continue
+			}
+			callerCtx := u.ContextOf(cr.Callers, leafFn.Name, profdata.ProbeBased)
+			lo, hi := bin.InstrsIn(cr.R.Begin, cr.R.End)
+			for i := lo; i < hi; i++ {
+				addr := bin.Instrs[i].Addr
+				for _, rec := range bin.ProbesAt(addr) {
+					ctx := contextForProbe(callerCtx, &rec, opts.MaxContextDepth)
+					fp := p.ContextProfile(ctx)
+					w := uint64(rec.Factor + 0.5)
+					if rec.Factor > 0 && rec.Factor < 1 {
+						// Fractional factors accumulate probabilistically;
+						// round half up but never drop to zero outright.
+						w = 1
+					}
+					if w == 0 {
+						continue
+					}
+					loc := profdata.LocKey{ID: rec.ID}
+					switch rec.Kind {
+					case ir.ProbeBlock:
+						fp.AddBody(loc, w)
+					case ir.ProbeCall:
+						in := bin.InstrAt(addr)
+						if in != nil && (in.Kind == machine.KCall || in.Kind == machine.KTailCall) {
+							fp.AddCall(loc, bin.Funcs[in.CalleeID].Name, w)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Indirect-call target histograms (sampled value profiles) are
+	// context-insensitive: they land in the base profiles, where the ICP
+	// pass consumes them via the flattened view.
+	attributeICallTargets(bin, samples, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
+		return p.FuncProfile(rec.Func)
+	})
+	finalizeProbeProfile(bin, p)
+	return p, u.Stats
+}
+
+// contextForProbe builds the full context of one probe record: the caller
+// frames recovered by the unwinder, the probe's inline chain (outermost
+// first), and the probe's defining function as leaf.
+func contextForProbe(callerCtx profdata.Context, rec *machine.ProbeRec, maxDepth int) profdata.Context {
+	var chain []profdata.ContextFrame
+	for s := rec.InlinedAt; s != nil; s = s.Parent {
+		chain = append(chain, profdata.ContextFrame{Func: s.Func, Site: profdata.LocKey{ID: s.CallID}})
+	}
+	ctx := make(profdata.Context, 0, len(callerCtx)+len(chain)+1)
+	ctx = append(ctx, callerCtx...)
+	for i := len(chain) - 1; i >= 0; i-- {
+		ctx = append(ctx, chain[i])
+	}
+	ctx = append(ctx, profdata.ContextFrame{Func: rec.Func})
+	if maxDepth > 0 && len(ctx) > maxDepth {
+		ctx = ctx[len(ctx)-maxDepth:]
+	}
+	return ctx
+}

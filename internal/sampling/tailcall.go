@@ -1,0 +1,111 @@
+package sampling
+
+import (
+	"sort"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/sim"
+)
+
+// TailEdge is one observed dynamic tail-call edge.
+type TailEdge struct {
+	From     string
+	To       string
+	SiteAddr uint64 // address of the tail-call instruction in From
+}
+
+// TailCallGraph is the dynamic call graph of tail-call edges observed in
+// LBR samples. The missing-frame inferrer (§III.B "Reliable stack
+// sampling") DFS-searches it for a unique path between a call's static
+// target and the frame actually observed below it; a unique path recovers
+// the frames that tail-call elimination removed from the stack.
+type TailCallGraph struct {
+	edges map[string]map[string]*TailEdge
+}
+
+// BuildTailCallGraph scans every LBR record of every sample and collects
+// edges whose source instruction is a tail call.
+func BuildTailCallGraph(bin *machine.Prog, samples []sim.Sample) *TailCallGraph {
+	g := &TailCallGraph{edges: map[string]map[string]*TailEdge{}}
+	for _, s := range samples {
+		for _, br := range s.LBR {
+			in := bin.InstrAt(br.From)
+			if in == nil || in.Kind != machine.KTailCall {
+				continue
+			}
+			from := bin.FuncAt(br.From)
+			to := bin.FuncAt(br.To)
+			if from == nil || to == nil {
+				continue
+			}
+			m := g.edges[from.Name]
+			if m == nil {
+				m = map[string]*TailEdge{}
+				g.edges[from.Name] = m
+			}
+			if _, ok := m[to.Name]; !ok {
+				m[to.Name] = &TailEdge{From: from.Name, To: to.Name, SiteAddr: br.From}
+			}
+		}
+	}
+	return g
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *TailCallGraph) NumEdges() int {
+	n := 0
+	for _, m := range g.edges {
+		n += len(m)
+	}
+	return n
+}
+
+// InferPath returns the unique tail-call path from → … → to as the list of
+// edges traversed, or nil when no path or more than one path exists (the
+// ambiguous case where inference must give up). from == to yields an empty
+// (non-nil) path. Search depth is bounded.
+func (g *TailCallGraph) InferPath(from, to string) []*TailEdge {
+	if from == to {
+		return []*TailEdge{}
+	}
+	const maxDepth = 8
+	var found [][]*TailEdge
+	var path []*TailEdge
+	onPath := map[string]bool{from: true}
+
+	var dfs func(cur string, depth int)
+	dfs = func(cur string, depth int) {
+		if len(found) > 1 || depth > maxDepth {
+			return
+		}
+		succs := g.edges[cur]
+		keys := make([]string, 0, len(succs))
+		for k := range succs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, next := range keys {
+			if onPath[next] {
+				continue
+			}
+			e := succs[next]
+			path = append(path, e)
+			if next == to {
+				found = append(found, append([]*TailEdge(nil), path...))
+			} else {
+				onPath[next] = true
+				dfs(next, depth+1)
+				delete(onPath, next)
+			}
+			path = path[:len(path)-1]
+			if len(found) > 1 {
+				return
+			}
+		}
+	}
+	dfs(from, 0)
+	if len(found) == 1 {
+		return found[0]
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package sampling
+
+import (
+	"csspgo/internal/ir"
+	"csspgo/internal/machine"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+)
+
+// CtxRange is a linear execution range together with the virtual call stack
+// in effect while it executed: Callers holds resume addresses of the frames
+// above the range's function, outermost first.
+type CtxRange struct {
+	R       Range
+	Callers []uint64
+}
+
+// UnwindStats counts missing-frame inference outcomes.
+type UnwindStats struct {
+	Samples            int
+	Ranges             int
+	SkidAdjusted       int // stacks detected lagging the LBR by one frame
+	MissingFrameEvents int // caller/callee mismatches seen (per context build)
+	EventsRecovered    int // mismatches repaired via a unique tail-call path
+	FramesRecovered    int // total frames reinserted by those repairs
+}
+
+// Unwinder reconstructs calling contexts from synchronized LBR + stack
+// samples — the paper's Algorithm 1. LBR branches are processed in reverse
+// execution order (newest first), undoing each branch's frame effect to
+// recover the stack in effect when each linear range executed.
+type Unwinder struct {
+	bin   *machine.Prog
+	tails *TailCallGraph // nil disables missing-frame inference
+	Stats UnwindStats
+	// AssumeAligned skips skid detection (PEBS ablation only).
+	AssumeAligned bool
+
+	ctxCache map[string]profdata.Context
+}
+
+// NewUnwinder returns an unwinder over bin. tails may be nil.
+func NewUnwinder(bin *machine.Prog, tails *TailCallGraph) *Unwinder {
+	return &Unwinder{bin: bin, tails: tails, ctxCache: map[string]profdata.Context{}}
+}
+
+// Unwind recovers the context of every linear range in one sample.
+func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
+	u.Stats.Samples++
+	if len(s.LBR) == 0 || len(s.Stack) == 0 {
+		return nil
+	}
+	// The stack sample is leaf-first [pc, ret1, ret2, ...]; the virtual
+	// stack keeps callers only, outermost first.
+	callers := make([]uint64, 0, len(s.Stack)-1)
+	for i := len(s.Stack) - 1; i >= 1; i-- {
+		callers = append(callers, s.Stack[i])
+	}
+
+	// Skid detection: with PEBS the stack leaf is synchronized with the
+	// newest LBR branch's target. A lagging stack (no PEBS) reflects the
+	// state *before* that branch, so its frame effect must not be undone.
+	aligned := true
+	if !u.AssumeAligned {
+		leafFn := u.bin.FuncAt(s.Stack[0])
+		toFn := u.bin.FuncAt(s.LBR[0].To)
+		if leafFn == nil || toFn == nil || leafFn != toFn {
+			aligned = false
+			u.Stats.SkidAdjusted++
+		}
+	}
+
+	out := make([]CtxRange, 0, len(s.LBR))
+	for i := 0; i+1 < len(s.LBR); i++ {
+		br := s.LBR[i]
+		if aligned || i > 0 {
+			// Undo br's frame effect (travelling back in time).
+			in := u.bin.InstrAt(br.From)
+			if in == nil {
+				break // corrupt record; stop unwinding this sample
+			}
+			switch in.Kind {
+			case machine.KCall:
+				if len(callers) == 0 {
+					// Stack shallower than LBR history; context unknown
+					// beyond this point.
+					callers = nil
+				} else {
+					callers = callers[:len(callers)-1]
+				}
+			case machine.KRet:
+				callers = append(callers, br.To)
+			case machine.KTailCall:
+				// Frame was reused: leaf function changes, callers do not.
+			}
+		}
+		r := Range{Begin: s.LBR[i+1].To, End: br.From}
+		if !r.Valid(u.bin) {
+			continue
+		}
+		u.Stats.Ranges++
+		out = append(out, CtxRange{R: r, Callers: append([]uint64(nil), callers...)})
+	}
+	return out
+}
+
+// ContextOf converts a virtual caller stack into profile context frames
+// (outermost first), expanding inlined call sites via debug info or probe
+// metadata and repairing tail-call holes via the tail-call graph. The
+// returned context holds caller frames only — the caller appends the leaf
+// frame(s). leafFunc is the physical function the ranges execute in.
+func (u *Unwinder) ContextOf(callers []uint64, leafFunc string, kind profdata.Kind) profdata.Context {
+	key := cacheKey(callers, leafFunc, kind)
+	if c, ok := u.ctxCache[key]; ok {
+		return c
+	}
+	var ctx profdata.Context
+	for i, resume := range callers {
+		call := u.callSiteBefore(resume)
+		if call == nil {
+			// Unknown linkage: discard outer context, keep going.
+			ctx = ctx[:0]
+			continue
+		}
+		frames := u.callSiteFrames(call, kind)
+		ctx = append(ctx, frames...)
+		// Static target vs. observed next frame: repair tail-call holes.
+		target := u.bin.Funcs[call.CalleeID].Name
+		next := leafFunc
+		if i+1 < len(callers) {
+			if nf := u.bin.FuncAt(callers[i+1]); nf != nil {
+				next = nf.Name
+			}
+		}
+		if target != next {
+			u.Stats.MissingFrameEvents++
+			if u.tails != nil {
+				if path := u.tails.InferPath(target, next); path != nil {
+					for _, e := range path {
+						site := u.siteOfAddr(e.SiteAddr, e.From, kind)
+						ctx = append(ctx, profdata.ContextFrame{Func: e.From, Site: site})
+					}
+					u.Stats.EventsRecovered++
+					u.Stats.FramesRecovered += len(path)
+				}
+			}
+		}
+	}
+	out := append(profdata.Context(nil), ctx...)
+	u.ctxCache[key] = out
+	return out
+}
+
+// callSiteBefore finds the call/tail-call instruction immediately preceding
+// a return (resume) address.
+func (u *Unwinder) callSiteBefore(resume uint64) *machine.Instr {
+	idx := u.bin.InstrIndexAt(resume)
+	if idx <= 0 {
+		return nil
+	}
+	in := &u.bin.Instrs[idx-1]
+	if in.Kind != machine.KCall && in.Kind != machine.KTailCall {
+		return nil
+	}
+	return in
+}
+
+// callSiteFrames expands one physical call site into context frames
+// (outermost first): inline frames the call was compiled through, then the
+// frame of the function textually containing the call, each with its call
+// site in the chosen key space.
+func (u *Unwinder) callSiteFrames(call *machine.Instr, kind profdata.Kind) []profdata.ContextFrame {
+	if kind == profdata.ProbeBased {
+		for _, rec := range u.bin.ProbesAt(call.Addr) {
+			if rec.Kind != ir.ProbeCall {
+				continue
+			}
+			// InlinedAt chain is innermost-first; reverse it.
+			var chain []profdata.ContextFrame
+			for s := rec.InlinedAt; s != nil; s = s.Parent {
+				chain = append(chain, profdata.ContextFrame{Func: s.Func, Site: profdata.LocKey{ID: s.CallID}})
+			}
+			out := make([]profdata.ContextFrame, 0, len(chain)+1)
+			for i := len(chain) - 1; i >= 0; i-- {
+				out = append(out, chain[i])
+			}
+			return append(out, profdata.ContextFrame{Func: rec.Func, Site: profdata.LocKey{ID: rec.ID}})
+		}
+		// No call probe (e.g. probe-less build); fall back to symbol+0.
+		if f := u.bin.FuncAt(call.Addr); f != nil {
+			return []profdata.ContextFrame{{Func: f.Name}}
+		}
+		return nil
+	}
+	// Line-based: the Loc chain is innermost-first.
+	frames := u.bin.InlinedFramesAt(call.Addr)
+	out := make([]profdata.ContextFrame, 0, len(frames))
+	for i := len(frames) - 1; i >= 0; i-- {
+		fr := frames[i]
+		var off int32
+		if fn := u.bin.FuncByName[fr.Func]; fn != nil {
+			off = fr.Line - fn.StartLine
+		}
+		out = append(out, profdata.ContextFrame{Func: fr.Func, Site: profdata.LocKey{ID: off, Disc: fr.Disc}})
+	}
+	return out
+}
+
+// siteOfAddr keys the instruction at addr within function fn.
+func (u *Unwinder) siteOfAddr(addr uint64, fn string, kind profdata.Kind) profdata.LocKey {
+	if kind == profdata.ProbeBased {
+		for _, rec := range u.bin.ProbesAt(addr) {
+			if rec.Kind == ir.ProbeCall && rec.Func == fn {
+				return profdata.LocKey{ID: rec.ID}
+			}
+		}
+		return profdata.LocKey{}
+	}
+	frames := u.bin.InlinedFramesAt(addr)
+	if len(frames) > 0 {
+		if f := u.bin.FuncByName[frames[0].Func]; f != nil {
+			return profdata.LocKey{ID: frames[0].Line - f.StartLine, Disc: frames[0].Disc}
+		}
+	}
+	return profdata.LocKey{}
+}
+
+func cacheKey(callers []uint64, leaf string, kind profdata.Kind) string {
+	b := make([]byte, 0, len(callers)*8+len(leaf)+1)
+	for _, a := range callers {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(a>>s))
+		}
+	}
+	b = append(b, byte(kind))
+	b = append(b, leaf...)
+	return string(b)
+}

@@ -1,0 +1,113 @@
+package sim
+
+// CostParams is the cycle cost model. The defaults are x86-server-flavoured
+// and deliberately make the classic PGO levers matter: call overhead
+// (inlining), taken-branch bubbles and i-cache locality (block layout,
+// function splitting), mispredicts (branch bias), and counter increments
+// (instrumentation overhead).
+type CostParams struct {
+	BaseCPI         uint64 // cycles per retired instruction
+	TakenBranch     uint64 // front-end redirect bubble for any taken branch
+	Mispredict      uint64 // extra cycles on conditional mispredict
+	ICacheMiss      uint64 // i-cache line miss penalty
+	CallOverhead    uint64 // frame setup beyond the call instruction
+	RetOverhead     uint64
+	ArgCost         uint64 // per-argument move cost
+	CounterCost     uint64 // instrumentation counter RMW
+	ICacheBytes     int    // total i-cache capacity
+	ICacheLineBytes int
+	ICacheWays      int
+}
+
+// DefaultCostParams returns the calibrated default model.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		BaseCPI:         1,
+		TakenBranch:     1,
+		Mispredict:      14,
+		ICacheMiss:      12,
+		CallOverhead:    2,
+		RetOverhead:     1,
+		ArgCost:         1,
+		CounterCost:     5,
+		ICacheBytes:     8 * 1024,
+		ICacheLineBytes: 64,
+		ICacheWays:      2,
+	}
+}
+
+// predictor is a classic table of 2-bit saturating counters indexed by
+// branch address (no aliasing — one entry per static branch).
+type predictor struct {
+	table map[uint64]uint8
+}
+
+func newPredictor() *predictor { return &predictor{table: map[uint64]uint8{}} }
+
+// predictAndUpdate returns whether the prediction for addr matched the
+// outcome, then trains the counter. Counters start weakly-taken (2).
+func (p *predictor) predictAndUpdate(addr uint64, taken bool) bool {
+	c, ok := p.table[addr]
+	if !ok {
+		c = 2
+	}
+	predictTaken := c >= 2
+	if taken && c < 3 {
+		c++
+	} else if !taken && c > 0 {
+		c--
+	}
+	p.table[addr] = c
+	return predictTaken == taken
+}
+
+// icache is a set-associative instruction cache with LRU replacement.
+type icache struct {
+	sets     [][]icLine
+	lineBits uint
+	setMask  uint64
+	tick     uint64
+}
+
+type icLine struct {
+	tag   uint64
+	valid bool
+	used  uint64
+}
+
+func newICache(p CostParams) *icache {
+	lineBits := uint(0)
+	for 1<<lineBits < p.ICacheLineBytes {
+		lineBits++
+	}
+	nsets := p.ICacheBytes / p.ICacheLineBytes / p.ICacheWays
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &icache{lineBits: lineBits, setMask: uint64(nsets - 1)}
+	c.sets = make([][]icLine, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]icLine, p.ICacheWays)
+	}
+	return c
+}
+
+// access touches the line containing addr; returns true on hit.
+func (c *icache) access(addr uint64) bool {
+	c.tick++
+	line := addr >> c.lineBits
+	set := c.sets[line&c.setMask]
+	var victim, oldest = 0, ^uint64(0)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].used = c.tick
+			return true
+		}
+		if set[i].used < oldest {
+			oldest = set[i].used
+			victim = i
+		}
+	}
+	set[victim] = icLine{tag: line, valid: true, used: c.tick}
+	return false
+}

@@ -1,0 +1,459 @@
+// Package sim executes machine programs on a simulated CPU with a cycle
+// cost model (branch predictor, i-cache, call overhead) and a PMU that
+// produces synchronized LBR + call-stack samples. It is the reproduction's
+// stand-in for the paper's Skylake servers + linux perf.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"csspgo/internal/ir"
+	"csspgo/internal/machine"
+)
+
+// Stats accumulates execution statistics across runs.
+type Stats struct {
+	Cycles        uint64
+	Instructions  uint64
+	CondBranches  uint64
+	TakenBranches uint64 // all LBR-visible transfers
+	Mispredicts   uint64
+	ICacheMisses  uint64
+	Calls         uint64
+	IndirectCalls uint64
+	Returns       uint64
+	Samples       uint64
+}
+
+// Machine is a simulated CPU + process executing one binary. Global state
+// persists across Run calls (a long-lived server process handling many
+// requests); Reset restores the initial image.
+type Machine struct {
+	Prog *machine.Prog
+	Cost CostParams
+
+	globals  []int64
+	counters []uint64
+	pred     []uint8 // 2-bit counters indexed by addr-base
+	ic       *icache
+	pmu      *pmu
+	lastLine uint64
+	haveLine bool
+
+	base      uint64
+	addrToIdx []int32
+	// btb predicts indirect-call targets by last-seen target per site;
+	// a wrong prediction costs a full mispredict (the penalty ICP's
+	// guarded direct call removes on the dominant path).
+	btb map[uint64]int32
+
+	frames []frame
+	stats  Stats
+
+	// vprof holds exact indirect-call target counts per call-site address,
+	// collected only on instrumented binaries (value profiling).
+	vprof map[uint64]map[int32]uint64
+
+	// MaxSteps bounds a single Run (runaway-loop guard).
+	MaxSteps uint64
+}
+
+type frame struct {
+	fn      *machine.Func
+	regs    []int64
+	retAddr uint64
+	retDst  int32
+}
+
+// New creates a machine for prog with the given cost model and PMU config.
+func New(prog *machine.Prog, cost CostParams, pmuCfg PMUConfig) *Machine {
+	m := &Machine{
+		Prog:     prog,
+		Cost:     cost,
+		ic:       newICache(cost),
+		pmu:      newPMU(pmuCfg),
+		MaxSteps: 500_000_000,
+	}
+	m.Reset()
+	if len(prog.Instrs) > 0 {
+		m.base = prog.Instrs[0].Addr
+		last := &prog.Instrs[len(prog.Instrs)-1]
+		span := last.Addr + uint64(last.Size) - m.base
+		m.addrToIdx = make([]int32, span+1)
+		for i := range m.addrToIdx {
+			m.addrToIdx[i] = -1
+		}
+		for i := range prog.Instrs {
+			m.addrToIdx[prog.Instrs[i].Addr-m.base] = int32(i)
+		}
+		m.pred = make([]uint8, span+1)
+		for i := range m.pred {
+			m.pred[i] = 2 // weakly taken
+		}
+	}
+	return m
+}
+
+// Reset restores globals and counters to the program image.
+func (m *Machine) Reset() {
+	m.globals = append([]int64(nil), m.Prog.GlobalInit...)
+	m.counters = make([]uint64, m.Prog.NumCounters)
+	m.frames = m.frames[:0]
+}
+
+// Stats returns accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Counters returns the instrumentation counter values.
+func (m *Machine) Counters() []uint64 { return m.counters }
+
+// Samples returns PMU samples collected so far.
+func (m *Machine) Samples() []Sample { return m.pmu.samples }
+
+// ValueProfile returns exact indirect-call target counts per call-site
+// address (instrumented binaries only; nil otherwise).
+func (m *Machine) ValueProfile() map[uint64]map[int32]uint64 { return m.vprof }
+
+// ErrStepLimit is returned when a run exceeds MaxSteps.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+func (m *Machine) idxOf(addr uint64) int32 {
+	off := addr - m.base
+	if off >= uint64(len(m.addrToIdx)) {
+		return -1
+	}
+	return m.addrToIdx[off]
+}
+
+// stackSnapshot builds a frame-pointer walk: leaf PC first, then each
+// frame's return address outward. extraLeaf, when >=0, is used as the leaf
+// PC; depth limits the walk to the top `nFrames` frames (all when the
+// frame slice is the machine's).
+func (m *Machine) stackSnapshot(leafPC uint64, frames []frame) []uint64 {
+	out := make([]uint64, 0, len(frames))
+	out = append(out, leafPC)
+	for i := len(frames) - 1; i >= 1; i-- {
+		out = append(out, frames[i].retAddr)
+	}
+	return out
+}
+
+// branchEvent records a taken branch in the LBR and, on sampling-counter
+// underflow, takes a synchronized sample. preStack/prePC describe machine
+// state before the branch's frame effect; post state is read from m at
+// call time (the caller must invoke branchEvent after applying the frame
+// effect). With PEBS the sample uses post state (perfectly synchronized);
+// without PEBS it uses the pre-branch stack, reproducing one-frame skid.
+func (m *Machine) branchEvent(from, to uint64, prePC uint64, preStack []uint64) {
+	m.stats.TakenBranches++
+	m.stats.Cycles += m.Cost.TakenBranch
+	if !m.pmu.recordBranch(from, to) {
+		return
+	}
+	m.stats.Samples++
+	if m.pmu.cfg.PEBS {
+		m.pmu.takeSample(m.stackSnapshot(to, m.frames))
+	} else {
+		m.pmu.takeSample(preStack)
+	}
+	_ = prePC
+}
+
+// Run executes main(args...) to completion and returns its result.
+func (m *Machine) Run(args ...int64) (int64, error) {
+	entryFn := m.Prog.FuncByName["main"]
+	if entryFn == nil {
+		return 0, fmt.Errorf("sim: binary has no main")
+	}
+	regs := make([]int64, entryFn.NumRegs)
+	for i, a := range args {
+		if i < int(entryFn.NumParams) {
+			regs[i] = a
+		}
+	}
+	m.frames = append(m.frames[:0], frame{fn: entryFn, regs: regs, retDst: -1})
+	pc := m.idxOf(m.Prog.EntryAddr)
+	if pc < 0 {
+		return 0, fmt.Errorf("sim: bad entry address %#x", m.Prog.EntryAddr)
+	}
+
+	cost := &m.Cost
+	steps := uint64(0)
+	for {
+		steps++
+		if steps > m.MaxSteps {
+			return 0, ErrStepLimit
+		}
+		in := &m.Prog.Instrs[pc]
+		cur := &m.frames[len(m.frames)-1]
+		r := cur.regs
+
+		// Instruction fetch: charge i-cache on line changes.
+		line := in.Addr >> 6
+		if !m.haveLine || line != m.lastLine {
+			m.lastLine = line
+			m.haveLine = true
+			if !m.ic.access(in.Addr) {
+				m.stats.ICacheMisses++
+				m.stats.Cycles += cost.ICacheMiss
+			}
+		}
+		m.stats.Instructions++
+		// Register-register moves are eliminated at rename on modern
+		// cores; they occupy an instruction slot but no execution cycle.
+		if !(in.Kind == machine.KOp && in.Op == ir.OpMove) {
+			m.stats.Cycles += cost.BaseCPI
+		}
+
+		switch in.Kind {
+		case machine.KConst:
+			r[in.Dst] = in.Value
+			pc++
+
+		case machine.KOp:
+			var v int64
+			switch in.Op {
+			case ir.OpMove:
+				v = r[in.A]
+			case ir.OpNot:
+				if r[in.A] == 0 {
+					v = 1
+				}
+			case ir.OpNeg:
+				v = -r[in.A]
+			default:
+				a, b := r[in.A], r[in.B]
+				switch in.Bin {
+				case ir.BinAdd:
+					v = a + b
+				case ir.BinSub:
+					v = a - b
+				case ir.BinMul:
+					v = a * b
+				case ir.BinDiv:
+					if b != 0 {
+						v = a / b
+					}
+				case ir.BinRem:
+					if b != 0 {
+						v = a % b
+					}
+				case ir.BinEq:
+					v = b2i(a == b)
+				case ir.BinNe:
+					v = b2i(a != b)
+				case ir.BinLt:
+					v = b2i(a < b)
+				case ir.BinLe:
+					v = b2i(a <= b)
+				case ir.BinGt:
+					v = b2i(a > b)
+				case ir.BinGe:
+					v = b2i(a >= b)
+				case ir.BinAnd:
+					v = a & b
+				case ir.BinOr:
+					v = a | b
+				case ir.BinXor:
+					v = a ^ b
+				case ir.BinShl:
+					v = a << (uint64(b) & 63)
+				case ir.BinShr:
+					v = a >> (uint64(b) & 63)
+				}
+			}
+			r[in.Dst] = v
+			pc++
+
+		case machine.KSelect:
+			if r[in.A] != 0 {
+				r[in.Dst] = r[in.B]
+			} else {
+				r[in.Dst] = r[in.C]
+			}
+			pc++
+
+		case machine.KLoad:
+			off := int64(in.GlobalOff)
+			if in.Index >= 0 {
+				off += r[in.Index]
+			}
+			r[in.Dst] = m.globals[wrap(off, len(m.globals))]
+			pc++
+
+		case machine.KStore:
+			off := int64(in.GlobalOff)
+			if in.Index >= 0 {
+				off += r[in.Index]
+			}
+			m.globals[wrap(off, len(m.globals))] = r[in.A]
+			pc++
+
+		case machine.KBranch:
+			m.stats.CondBranches++
+			cond := r[in.A] != 0
+			taken := cond != in.BranchNeg
+			c := m.pred[in.Addr-m.base]
+			predictTaken := c >= 2
+			if taken && c < 3 {
+				c++
+			} else if !taken && c > 0 {
+				c--
+			}
+			m.pred[in.Addr-m.base] = c
+			if predictTaken != taken {
+				m.stats.Mispredicts++
+				m.stats.Cycles += cost.Mispredict
+			}
+			if taken {
+				next := in.Addr + uint64(in.Size)
+				preStack := m.preStackIfNeeded(next)
+				pc = m.idxOf(in.Target)
+				m.branchEvent(in.Addr, in.Target, next, preStack)
+			} else {
+				pc++
+			}
+
+		case machine.KJump:
+			next := in.Addr + uint64(in.Size)
+			preStack := m.preStackIfNeeded(next)
+			pc = m.idxOf(in.Target)
+			m.branchEvent(in.Addr, in.Target, next, preStack)
+
+		case machine.KICall:
+			m.stats.Calls++
+			m.stats.IndirectCalls++
+			calleeID := int32(wrap(r[in.A], len(m.Prog.Funcs)))
+			callee := m.Prog.Funcs[calleeID]
+			// Indirect calls pay an extra indirect-branch bubble, and a
+			// full mispredict when the BTB's last-target guess is wrong.
+			m.stats.Cycles += cost.CallOverhead + 2 + cost.ArgCost*uint64(len(in.ArgRegs))
+			if m.btb == nil {
+				m.btb = map[uint64]int32{}
+			}
+			if last, ok := m.btb[in.Addr]; !ok || last != calleeID {
+				if ok {
+					m.stats.Mispredicts++
+					m.stats.Cycles += cost.Mispredict
+				}
+				m.btb[in.Addr] = calleeID
+			}
+			if m.Prog.Instrumented {
+				// Value profiling: per-site target histogram (costly RMW +
+				// hashing, the instrumentation-PGO price).
+				m.stats.Cycles += 8
+				if m.vprof == nil {
+					m.vprof = map[uint64]map[int32]uint64{}
+				}
+				t := m.vprof[in.Addr]
+				if t == nil {
+					t = map[int32]uint64{}
+					m.vprof[in.Addr] = t
+				}
+				t[calleeID]++
+			}
+			nregs := make([]int64, callee.NumRegs)
+			for i, a := range in.ArgRegs {
+				if i < int(callee.NumParams) {
+					nregs[i] = r[a]
+				}
+			}
+			retAddr := in.Addr + uint64(in.Size)
+			preStack := m.preStackIfNeeded(in.Addr)
+			m.frames = append(m.frames, frame{fn: callee, regs: nregs, retAddr: retAddr, retDst: in.Dst})
+			pc = m.idxOf(callee.Start)
+			m.branchEvent(in.Addr, callee.Start, in.Addr, preStack)
+
+		case machine.KCall:
+			m.stats.Calls++
+			m.stats.Cycles += cost.CallOverhead + cost.ArgCost*uint64(len(in.ArgRegs))
+			callee := m.Prog.Funcs[in.CalleeID]
+			nregs := make([]int64, callee.NumRegs)
+			for i, a := range in.ArgRegs {
+				nregs[i] = r[a]
+			}
+			retAddr := in.Addr + uint64(in.Size)
+			preStack := m.preStackIfNeeded(in.Addr)
+			m.frames = append(m.frames, frame{fn: callee, regs: nregs, retAddr: retAddr, retDst: in.Dst})
+			pc = m.idxOf(in.Target)
+			m.branchEvent(in.Addr, in.Target, in.Addr, preStack)
+
+		case machine.KTailCall:
+			m.stats.Calls++
+			m.stats.Cycles += cost.ArgCost * uint64(len(in.ArgRegs))
+			callee := m.Prog.Funcs[in.CalleeID]
+			nregs := make([]int64, callee.NumRegs)
+			for i, a := range in.ArgRegs {
+				nregs[i] = r[a]
+			}
+			preStack := m.preStackIfNeeded(in.Addr)
+			top := &m.frames[len(m.frames)-1]
+			top.fn = callee
+			top.regs = nregs
+			// retAddr and retDst inherited: the frame was reused.
+			pc = m.idxOf(in.Target)
+			m.branchEvent(in.Addr, in.Target, in.Addr, preStack)
+
+		case machine.KRet:
+			m.stats.Returns++
+			m.stats.Cycles += cost.RetOverhead
+			var val int64
+			if in.A >= 0 {
+				val = r[in.A]
+			}
+			preStack := m.preStackIfNeeded(in.Addr)
+			popped := m.frames[len(m.frames)-1]
+			m.frames = m.frames[:len(m.frames)-1]
+			if len(m.frames) == 0 {
+				// Process exit: the final ret is still a taken branch.
+				m.frames = append(m.frames, popped) // keep stack valid for snapshot
+				m.branchEvent(in.Addr, popped.retAddr, in.Addr, preStack)
+				m.frames = m.frames[:0]
+				return val, nil
+			}
+			caller := &m.frames[len(m.frames)-1]
+			if popped.retDst >= 0 {
+				caller.regs[popped.retDst] = val
+			}
+			pc = m.idxOf(popped.retAddr)
+			m.branchEvent(in.Addr, popped.retAddr, in.Addr, preStack)
+
+		case machine.KCounter:
+			m.counters[in.CounterID]++
+			m.stats.Cycles += cost.CounterCost
+			pc++
+		}
+
+		if pc < 0 {
+			return 0, fmt.Errorf("sim: jump to unmapped address")
+		}
+	}
+}
+
+// preStackIfNeeded snapshots the pre-branch stack only when the next PMU
+// event will trigger a non-PEBS sample (avoids per-branch allocation).
+func (m *Machine) preStackIfNeeded(leafPC uint64) []uint64 {
+	if m.pmu.cfg.PEBS || m.pmu.cfg.SamplePeriod == 0 || m.pmu.countdown != 1 {
+		return nil
+	}
+	return m.stackSnapshot(leafPC, m.frames)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func wrap(off int64, n int) int64 {
+	if n == 0 {
+		return 0
+	}
+	off %= int64(n)
+	if off < 0 {
+		off += int64(n)
+	}
+	return off
+}

@@ -1,0 +1,189 @@
+package source
+
+// File is a parsed MiniLang compilation unit.
+type File struct {
+	Name    string // module name (used as the ThinLTO-style module id)
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array of int64.
+type GlobalDecl struct {
+	Name string
+	Size int // 1 for scalars
+	Init []int64
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is the statement interface; Pos returns the source line.
+type Stmt interface{ Pos() int }
+
+// Expr is the expression interface; Pos returns the source line.
+type Expr interface{ Pos() int }
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt declares and initializes a local: `var x = expr;`.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns a local: `x = expr;`.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt stores to a global scalar or array element:
+// `g = expr;` (when g is a global) or `g[i] = expr;`.
+type StoreStmt struct {
+	Global string
+	Index  Expr // nil for scalar globals
+	Val    Expr
+	Line   int
+}
+
+// IfStmt is `if (cond) { } else { }`; Else may be nil or another IfStmt.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+	Line int
+}
+
+// WhileStmt is `while (cond) { }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is `for (init; cond; post) { }`; Init/Post are simple statements
+// and may be nil, Cond may be nil (infinite).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+	Line int
+}
+
+// SwitchStmt is `switch (expr) { case N: ... default: ... }`. Cases do not
+// fall through.
+type SwitchStmt struct {
+	Cond    Expr
+	Values  []int64
+	Bodies  []*BlockStmt // parallel to Values
+	Default *BlockStmt   // may be nil
+	Line    int
+}
+
+// ReturnStmt is `return expr?;`.
+type ReturnStmt struct {
+	Val  Expr // may be nil
+	Line int
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (typically a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// VarExpr references a local variable or parameter (or a global scalar if
+// no local of that name is in scope — resolved during lowering).
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads a global array element: `g[i]`.
+type IndexExpr struct {
+	Global string
+	Index  Expr
+	Line   int
+}
+
+// CallExpr is a direct call: `f(a, b)`.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Line   int
+}
+
+// FuncRefExpr takes the address of a function: `&name`. It evaluates to an
+// opaque function id usable as an indirect-call target.
+type FuncRefExpr struct {
+	Name string
+	Line int
+}
+
+// IndirectCallExpr calls through a function value: `icall(target, args...)`.
+type IndirectCallExpr struct {
+	Target Expr
+	Args   []Expr
+	Line   int
+}
+
+// BinExpr is a binary operation; Op is a token kind (Plus..Ge, AndAnd, OrOr).
+type BinExpr struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Op   Kind // Minus or Not
+	X    Expr
+	Line int
+}
+
+// Pos implementations.
+func (s *BlockStmt) Pos() int        { return s.Line }
+func (s *VarStmt) Pos() int          { return s.Line }
+func (s *AssignStmt) Pos() int       { return s.Line }
+func (s *StoreStmt) Pos() int        { return s.Line }
+func (s *IfStmt) Pos() int           { return s.Line }
+func (s *WhileStmt) Pos() int        { return s.Line }
+func (s *ForStmt) Pos() int          { return s.Line }
+func (s *SwitchStmt) Pos() int       { return s.Line }
+func (s *ReturnStmt) Pos() int       { return s.Line }
+func (s *BreakStmt) Pos() int        { return s.Line }
+func (s *ContinueStmt) Pos() int     { return s.Line }
+func (s *ExprStmt) Pos() int         { return s.Line }
+func (e *NumExpr) Pos() int          { return e.Line }
+func (e *VarExpr) Pos() int          { return e.Line }
+func (e *IndexExpr) Pos() int        { return e.Line }
+func (e *CallExpr) Pos() int         { return e.Line }
+func (e *FuncRefExpr) Pos() int      { return e.Line }
+func (e *IndirectCallExpr) Pos() int { return e.Line }
+func (e *BinExpr) Pos() int          { return e.Line }
+func (e *UnExpr) Pos() int           { return e.Line }

@@ -1,0 +1,189 @@
+package source
+
+import "fmt"
+
+// Lexer turns MiniLang source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src, starting at line 1.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) nextByte() byte {
+	c := lx.peekByte()
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (lx *Lexer) skipSpace() error {
+	for {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.nextByte()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.peekByte() != 0 && lx.peekByte() != '\n' {
+				lx.nextByte()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			start := lx.line
+			lx.nextByte()
+			lx.nextByte()
+			for {
+				if lx.peekByte() == 0 {
+					return fmt.Errorf("line %d: unterminated block comment", start)
+				}
+				if lx.peekByte() == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.nextByte()
+					lx.nextByte()
+					break
+				}
+				lx.nextByte()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line := lx.line
+	c := lx.peekByte()
+	if c == 0 {
+		return Token{Kind: EOF, Line: line}, nil
+	}
+	switch {
+	case isDigit(c):
+		var n int64
+		for isDigit(lx.peekByte()) {
+			n = n*10 + int64(lx.nextByte()-'0')
+		}
+		return Token{Kind: NUM, Num: n, Line: line}, nil
+	case isAlpha(c):
+		start := lx.pos
+		for isAlpha(lx.peekByte()) || isDigit(lx.peekByte()) {
+			lx.nextByte()
+		}
+		word := lx.src[start:lx.pos]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Line: line}, nil
+		}
+		return Token{Kind: IDENT, Text: word, Line: line}, nil
+	}
+	two := func(second byte, yes, no Kind) Token {
+		lx.nextByte()
+		if lx.peekByte() == second {
+			lx.nextByte()
+			return Token{Kind: yes, Line: line}
+		}
+		return Token{Kind: no, Line: line}
+	}
+	switch c {
+	case '(':
+		lx.nextByte()
+		return Token{Kind: LParen, Line: line}, nil
+	case ')':
+		lx.nextByte()
+		return Token{Kind: RParen, Line: line}, nil
+	case '{':
+		lx.nextByte()
+		return Token{Kind: LBrace, Line: line}, nil
+	case '}':
+		lx.nextByte()
+		return Token{Kind: RBrace, Line: line}, nil
+	case '[':
+		lx.nextByte()
+		return Token{Kind: LBrack, Line: line}, nil
+	case ']':
+		lx.nextByte()
+		return Token{Kind: RBrack, Line: line}, nil
+	case ',':
+		lx.nextByte()
+		return Token{Kind: Comma, Line: line}, nil
+	case ';':
+		lx.nextByte()
+		return Token{Kind: Semi, Line: line}, nil
+	case ':':
+		lx.nextByte()
+		return Token{Kind: Colon, Line: line}, nil
+	case '+':
+		lx.nextByte()
+		return Token{Kind: Plus, Line: line}, nil
+	case '-':
+		lx.nextByte()
+		return Token{Kind: Minus, Line: line}, nil
+	case '*':
+		lx.nextByte()
+		return Token{Kind: Star, Line: line}, nil
+	case '/':
+		lx.nextByte()
+		return Token{Kind: Slash, Line: line}, nil
+	case '%':
+		lx.nextByte()
+		return Token{Kind: Percent, Line: line}, nil
+	case '=':
+		return two('=', Eq, Assign), nil
+	case '!':
+		return two('=', Ne, Not), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	case '&':
+		lx.nextByte()
+		if lx.peekByte() == '&' {
+			lx.nextByte()
+			return Token{Kind: AndAnd, Line: line}, nil
+		}
+		return Token{Kind: Amp, Line: line}, nil
+	case '|':
+		lx.nextByte()
+		if lx.peekByte() == '|' {
+			lx.nextByte()
+			return Token{Kind: OrOr, Line: line}, nil
+		}
+		return Token{}, fmt.Errorf("line %d: unexpected '|'", line)
+	}
+	return Token{}, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+}
+
+// Lex tokenizes the entire input (EOF token included last).
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,633 @@
+package source
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniLang.
+type Parser struct {
+	toks []Token
+	pos  int
+	name string
+}
+
+// Parse parses one MiniLang file. name becomes the module id.
+func Parse(name, src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p := &Parser{toks: toks, name: name}
+	f, err := p.file()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return f, nil
+}
+
+func (p *Parser) peek() Token    { return p.toks[p.pos] }
+func (p *Parser) next() Token    { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) at(k Kind) bool { return p.peek().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, fmt.Errorf("line %d: expected %s, found %s", t.Line, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{Name: p.name}
+	for !p.at(EOF) {
+		switch p.peek().Kind {
+		case KwGlobal:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case KwFunc:
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			t := p.peek()
+			return nil, fmt.Errorf("line %d: expected 'func' or 'global', found %s", t.Line, t)
+		}
+	}
+	return f, nil
+}
+
+// globalDecl := "global" IDENT ("[" NUM "]")? ("=" NUM ("," NUM)*)? ";"
+func (p *Parser) globalDecl() (*GlobalDecl, error) {
+	kw, _ := p.expect(KwGlobal)
+	id, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: id.Text, Size: 1, Line: kw.Line}
+	if p.accept(LBrack) {
+		n, err := p.expect(NUM)
+		if err != nil {
+			return nil, err
+		}
+		if n.Num <= 0 {
+			return nil, fmt.Errorf("line %d: array size must be positive", n.Line)
+		}
+		g.Size = int(n.Num)
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(Assign) {
+		for {
+			neg := p.accept(Minus)
+			n, err := p.expect(NUM)
+			if err != nil {
+				return nil, err
+			}
+			v := n.Num
+			if neg {
+				v = -v
+			}
+			g.Init = append(g.Init, v)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if len(g.Init) > g.Size {
+			return nil, fmt.Errorf("line %d: %d initializers for global of size %d", kw.Line, len(g.Init), g.Size)
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// funcDecl := "func" IDENT "(" (IDENT ("," IDENT)*)? ")" block
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	kw, _ := p.expect(KwFunc)
+	id, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: id.Text, Line: kw.Line}
+	if !p.at(RParen) {
+		for {
+			param, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, param.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: lb.Line}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, fmt.Errorf("line %d: unterminated block", lb.Line)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case KwVar:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semi)
+		return s, err
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case KwFor:
+		return p.forStmt()
+	case KwSwitch:
+		return p.switchStmt()
+	case KwReturn:
+		p.next()
+		var val Expr
+		if !p.at(Semi) {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Line: t.Line}, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case LBrace:
+		return p.block()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semi)
+		return s, err
+	}
+}
+
+// simpleStmt handles var decls, assignments, stores and expression
+// statements — the statement forms allowed in for-headers.
+func (p *Parser) simpleStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case KwVar:
+		p.next()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: id.Text, Init: init, Line: t.Line}, nil
+	case IDENT:
+		// Lookahead: IDENT "=" → assign; IDENT "[" → index store or
+		// (after ]) read; IDENT "(" → call statement; otherwise expr stmt.
+		if p.toks[p.pos+1].Kind == Assign {
+			id := p.next()
+			p.next() // '='
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: id.Text, Val: val, Line: t.Line}, nil
+		}
+		if p.toks[p.pos+1].Kind == LBrack {
+			// Could be a store `g[i] = e` — parse index then check '='.
+			save := p.pos
+			id := p.next()
+			p.next() // '['
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			if p.accept(Assign) {
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &StoreStmt{Global: id.Text, Index: idx, Val: val, Line: t.Line}, nil
+			}
+			// Not a store; re-parse as expression statement.
+			p.pos = save
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.Line}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t, _ := p.expect(KwIf)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			s.Else, err = p.ifStmt()
+		} else {
+			s.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t, _ := p.expect(KwFor)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: t.Line}
+	var err error
+	if !p.at(Semi) {
+		s.Init, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(Semi) {
+		s.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		s.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) switchStmt() (Stmt, error) {
+	t, _ := p.expect(KwSwitch)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Cond: cond, Line: t.Line}
+	seen := map[int64]bool{}
+	for !p.at(RBrace) {
+		switch {
+		case p.accept(KwCase):
+			neg := p.accept(Minus)
+			n, err := p.expect(NUM)
+			if err != nil {
+				return nil, err
+			}
+			v := n.Num
+			if neg {
+				v = -v
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("line %d: duplicate case %d", n.Line, v)
+			}
+			seen[v] = true
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody(n.Line)
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, v)
+			s.Bodies = append(s.Bodies, body)
+		case p.accept(KwDefault):
+			if s.Default != nil {
+				return nil, fmt.Errorf("line %d: duplicate default", p.peek().Line)
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody(t.Line)
+			if err != nil {
+				return nil, err
+			}
+			s.Default = body
+		default:
+			return nil, fmt.Errorf("line %d: expected 'case' or 'default' in switch", p.peek().Line)
+		}
+	}
+	p.next() // RBrace
+	return s, nil
+}
+
+// caseBody parses statements until the next case/default/closing brace.
+// MiniLang cases do not fall through.
+func (p *Parser) caseBody(line int) (*BlockStmt, error) {
+	b := &BlockStmt{Line: line}
+	for !p.at(KwCase) && !p.at(KwDefault) && !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, fmt.Errorf("line %d: unterminated switch", line)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// Operator precedence (lowest first): || , &&, comparisons, +/-, */ /%.
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(OrOr) {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OrOr, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(AndAnd) {
+		t := p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: AndAnd, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *Parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		if k != Eq && k != Ne && k != Lt && k != Le && k != Gt && k != Ge {
+			return l, nil
+		}
+		t := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: k, L: l, R: r, Line: t.Line}
+	}
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		t := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Kind, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Star) || p.at(Slash) || p.at(Percent) {
+		t := p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Kind, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.Kind == Minus || t.Kind == Not {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case Amp:
+		p.next()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &FuncRefExpr{Name: id.Text, Line: t.Line}, nil
+	case KwICall:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		target, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call := &IndirectCallExpr{Target: target, Line: t.Line}
+		for p.accept(Comma) {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case NUM:
+		p.next()
+		return &NumExpr{Val: t.Num, Line: t.Line}, nil
+	case IDENT:
+		p.next()
+		switch p.peek().Kind {
+		case LParen:
+			p.next()
+			call := &CallExpr{Callee: t.Text, Line: t.Line}
+			if !p.at(RParen) {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case LBrack:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Global: t.Text, Index: idx, Line: t.Line}, nil
+		}
+		return &VarExpr{Name: t.Text, Line: t.Line}, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s in expression", t.Line, t)
+}

@@ -1,0 +1,105 @@
+// Package source implements the MiniLang frontend: a small C-like language
+// (int64 scalars, globals and global arrays, functions, if/else, while/for,
+// switch, logical operators) used as the "application source code" of the
+// CSSPGO reproduction. Line numbers are tracked faithfully so that
+// debug-info-based profile correlation and source-drift experiments behave
+// like they do against real source.
+package source
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUM
+	// Keywords.
+	KwFunc
+	KwGlobal
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwReturn
+	KwBreak
+	KwContinue
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Colon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+	Not
+	Amp // & (address-of-function)
+	KwICall
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUM: "number",
+	KwFunc: "func", KwGlobal: "global", KwVar: "var", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[", RBrack: "]",
+	Comma: ",", Semi: ";", Colon: ":", Assign: "=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!", Amp: "&", KwICall: "icall",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "global": KwGlobal, "var": KwVar, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"icall": KwICall,
+}
+
+// Token is a lexed token with its source line.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case NUM:
+		return fmt.Sprintf("num(%d)", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}

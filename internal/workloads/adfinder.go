@@ -1,0 +1,79 @@
+package workloads
+
+import "fmt"
+
+// genAdFinder builds the targeting/matching service: batteries of small
+// branchy predicates combined with short-circuit logic and dispatched by
+// request class through a switch — heavy on conditional branches, so block
+// layout and branch-bias quality dominate. Its sources are also the target
+// of the source-drift experiment (a comment edit shifts every line).
+func genAdFinder(scale int) (*Workload, error) {
+	const nPreds = 30
+
+	preds := sb()
+	for i := 0; i < nPreds; i++ {
+		fmt.Fprintf(preds, `
+func pred%d(x) {
+	var v = x %% %d;
+	var s = 0;
+	var k = x %% 5;
+	while (k > 0) { s = s + v; k = k - 1; }
+	var bias = 0;
+	if (v %% 2 == 0) { bias = v + %d; } else { bias = v - %d; }
+	if (v + s %% 3 + bias %% 5 < %d) { return 1; }
+	if (v %% %d == %d) { return 1; }
+	return 0;
+}
+`, i, 17+i*3, i+1, i+2, 3+i%5, 2+i%7, i%3)
+	}
+
+	match := sb()
+	match.WriteString(`
+global matched;
+func matchclass(x, class) {
+	var hit = 0;
+	switch (class % 6) {
+	case 0:
+`)
+	for g := 0; g < 6; g++ {
+		if g > 0 {
+			fmt.Fprintf(match, "	case %d:\n", g)
+		}
+		a, b, c := g*5%nPreds, (g*5+1)%nPreds, (g*5+2)%nPreds
+		d, e := (g*5+3)%nPreds, (g*5+4)%nPreds
+		fmt.Fprintf(match, `		if (pred%d(x) == 1 && pred%d(x + 1) == 1 || pred%d(x + 2) == 1) {
+			if (pred%d(x + 3) == 1 || !(pred%d(x) == 1)) { hit = 1; }
+		}
+`, a, b, c, d, e)
+	}
+	match.WriteString(`	}
+	if (hit == 1) { matched = matched + 1; }
+	return hit;
+}
+`)
+
+	mainSrc := `
+func main(req, seed) {
+	var hits = 0;
+	var batch = req % 40 + 20;
+	for (var i = 0; i < batch; i = i + 1) {
+		hits = hits + matchclass(seed + i * 13, i);
+	}
+	return hits;
+}
+`
+	files, err := parse("adfinder", map[string]string{
+		"preds.ml": preds.String(),
+		"match.ml": match.String(),
+		"main.ml":  mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "adfinder",
+		Files: files,
+		Train: stream(0xFACE1, 80*scale, 2, 10000),
+		Eval:  stream(0xFACE2, 80*scale, 2, 10000),
+	}, nil
+}

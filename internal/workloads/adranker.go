@@ -1,0 +1,110 @@
+package workloads
+
+import "fmt"
+
+// genAdRanker builds the feature-scoring service. Shared math utilities
+// (dotstep, scalemix, clampacc) behave differently per mode argument; each
+// feature scorer calls them with its own fixed mode, so context-sensitive
+// profiles separate per-scorer behaviour that flat profiles smear together.
+// Scorer popularity follows a steep skew: a handful are hot, the tail is
+// cold, driving selective-inlining decisions.
+func genAdRanker(scale int) (*Workload, error) {
+	const nFeatures = 28
+
+	util := sb()
+	util.WriteString(`
+global accbuf[16];
+func dotstep(x, w, mode) {
+	var v = x * w;
+	if (mode == 1) { return v + x % 7; }
+	if (mode == 2) {
+		var s = 0;
+		var k = v % 5;
+		while (k > 0) { s = s + k; k = k - 1; }
+		return v + s;
+	}
+	if (mode == 3) { return v - x % 11 + w % 3; }
+	return v;
+}
+func clampacc(v, lo, hi) {
+	if (v < lo) { return lo; }
+	if (v > hi) { return hi; }
+	return v;
+}
+func scalemix(v, mode) {
+	var r = v;
+	if (mode % 2 == 0) { r = r * 3 + 1; } else { r = r * 2 - 1; }
+	if (mode > 4) { r = r % 1000; }
+	return r;
+}
+func accumulate(slot, v) {
+	accbuf[slot % 16] = accbuf[slot % 16] + v;
+	return accbuf[slot % 16];
+}
+`)
+
+	feats := sb()
+	for i := 0; i < nFeatures; i++ {
+		mode := i%3 + 1
+		fmt.Fprintf(feats, `
+func feat%d(x, w) {
+	var acc = 0;
+	var bias = x %% %d + w * %d;
+	var gain = bias * 3 - x %% 13;
+	for (var k = 0; k < %d; k = k + 1) {
+		acc = acc + dotstep(x + k, w, %d);
+		acc = acc + (acc %% 31) * %d - bias %% 7;
+		if (acc > 50000) { acc = acc - gain; }
+	}
+	acc = acc + bias %% 17 + gain %% 23 + (acc / 3) %% 29;
+	acc = clampacc(acc, 0 - 100000, 100000);
+	return scalemix(acc, %d);
+}
+`, i, 11+i, i%5+1, 2+i%4, mode, i%3+1, i%7)
+	}
+
+	scoring := sb()
+	scoring.WriteString(`
+func rank(x, w) {
+	var score = 0;
+`)
+	// Hot head features always run; tail features gated by candidate bits.
+	for i := 0; i < nFeatures; i++ {
+		if i < 6 {
+			fmt.Fprintf(scoring, "\tscore = score + feat%d(x, w + %d);\n", i, i)
+		} else {
+			fmt.Fprintf(scoring, "\tif ((x / %d) %% %d == 0) { score = score + feat%d(x, w + %d); }\n",
+				i+1, i+2, i, i)
+		}
+	}
+	scoring.WriteString(`	score = accumulate(x, score);
+	return score;
+}
+`)
+
+	mainSrc := `
+func main(req, seed) {
+	var total = 0;
+	var candidates = req % 24 + 8;
+	for (var c = 0; c < candidates; c = c + 1) {
+		total = total + rank(seed + c * 17, c % 9 + 1);
+	}
+	return total;
+}
+`
+	files, err := parse("adranker", map[string]string{
+		"util.ml":    util.String(),
+		"feature.ml": feats.String(),
+		"scoring.ml": scoring.String(),
+		"main.ml":    mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "adranker",
+		Files: files,
+		Train: stream(0xA11CE, 60*scale, 2, 3000),
+		Eval:  stream(0xB0B01, 60*scale, 2, 3000),
+	}, nil
+}

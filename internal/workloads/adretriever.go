@@ -1,0 +1,90 @@
+package workloads
+
+import "fmt"
+
+// genAdRetriever builds the retrieval service: a staged filtering pipeline
+// where each stage delegates to the next in tail position (tail-call
+// elimination removes the frames, exercising the profiler's missing-frame
+// inferrer), plus a recursive descent over a global index.
+func genAdRetriever(scale int) (*Workload, error) {
+	const nStages = 9
+
+	stages := sb()
+	stages.WriteString("global filtered;\n")
+	for i := 0; i < nStages; i++ {
+		next := fmt.Sprintf("stage%d(v)", i+1)
+		if i == nStages-1 {
+			next = "finish(v)"
+		}
+		// Each stage transforms the value; a few reject early (cold path).
+		fmt.Fprintf(stages, `
+func stage%d(x) {
+	var v = x + x %% %d;
+	if (v %% %d == 0) {
+		filtered = filtered + 1;
+		return 0 - 1;
+	}
+	v = v * %d %% 9973;
+	return %s;
+}
+`, i, i+3, 127+i*13, i+2, next)
+	}
+	stages.WriteString(`
+func finish(x) { return x % 4096; }
+`)
+
+	index := `
+global tree[256];
+global probes;
+func seedtree(n) {
+	for (var i = 0; i < 256; i = i + 1) {
+		tree[i] = (i * 2654435761) % 65536;
+	}
+	return n;
+}
+func descend(node, key, depth) {
+	probes = probes + 1;
+	if (depth > 7) { return node; }
+	var v = tree[node % 256];
+	if (key < v) {
+		return descend(node * 2 + 1, key, depth + 1);
+	}
+	if (key > v) {
+		return descend(node * 2 + 2, key, depth + 1);
+	}
+	return node;
+}
+func retrieve(key) {
+	var hit = descend(0, key % 65536, 0);
+	return stage0(hit + key % 31);
+}
+`
+
+	mainSrc := `
+global inited;
+func main(req, n) {
+	if (inited == 0) { inited = seedtree(1); }
+	var total = 0;
+	var queries = n % 20 + 12;
+	for (var q = 0; q < queries; q = q + 1) {
+		var r = retrieve(req * 131 + q * 37);
+		if (r >= 0) { total = total + r; }
+	}
+	return total;
+}
+`
+	files, err := parse("adretriever", map[string]string{
+		"stages.ml": stages.String(),
+		"index.ml":  index,
+		"main.ml":   mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "adretriever",
+		Files: files,
+		Train: stream(0x5EE41, 80*scale, 2, 50000),
+		Eval:  stream(0xF16D2, 80*scale, 2, 50000),
+	}, nil
+}

@@ -1,0 +1,124 @@
+package workloads
+
+import "fmt"
+
+// genClangish builds the client workload (§IV.D): a compiler-shaped
+// single-pass pipeline — "lex", "parse", "check", "emit" phases made of
+// many small functions — run once per request over a short input. Short
+// runs give sampling poor coverage of the executed code, widening the gap
+// between sampling-based and instrumentation-based PGO exactly as the
+// paper reports for the Clang bootstrap.
+func genClangish(scale int) (*Workload, error) {
+	srcs := sb()
+	srcs.WriteString(`
+global tokens[256];
+global ntok;
+global diags;
+
+func classify(c) {
+	if (c % 19 < 6) { return 0; }
+	if (c % 19 < 11) { return 1; }
+	if (c % 19 < 15) { return 2; }
+	return 3;
+}
+func lexone(pos, c) {
+	var k = classify(c);
+	tokens[pos % 256] = k * 1000 + c % 997;
+	return k;
+}
+func lex(seed, len) {
+	ntok = 0;
+	var x = seed;
+	for (var i = 0; i < len; i = i + 1) {
+		x = (x * 1103515245 + 12345) % 2147483647;
+		lexone(i, x);
+		ntok = ntok + 1;
+	}
+	return ntok;
+}
+`)
+	// Many small parse/sema/codegen helpers; each phase touches a subset.
+	for i := 0; i < 14; i++ {
+		fmt.Fprintf(srcs, `
+func parse%d(t) {
+	var k = t / 1000;
+	if (k == %d) { return t %% 97 + %d; }
+	return t %% 53;
+}
+`, i, i%4, i)
+	}
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(srcs, `
+func check%d(v) {
+	if (v %% %d == 0) { diags = diags + 1; return 0; }
+	return v + %d;
+}
+`, i, 23+i*2, i)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(srcs, `
+func emit%d(v) { return v * %d %% 8191 + v %% %d; }
+`, i, i+2, 7+i)
+	}
+
+	driver := sb()
+	driver.WriteString(`
+func parseall() {
+	var ir = 0;
+	for (var i = 0; i < ntok; i = i + 1) {
+		var t = tokens[i % 256];
+		switch (t / 1000) {
+`)
+	for k := 0; k < 4; k++ {
+		fmt.Fprintf(driver, "\t\tcase %d: ir = ir + parse%d(t);\n", k, k)
+	}
+	driver.WriteString(`		default: ir = ir + parse4(t);
+		}
+	}
+	return ir;
+}
+func checkall(ir) {
+	var v = ir;
+`)
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(driver, "\tv = check%d(v);\n", i)
+	}
+	driver.WriteString(`	return v;
+}
+func emitall(v) {
+	var o = v;
+`)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(driver, "\to = emit%d(o);\n", i)
+	}
+	driver.WriteString(`	return o;
+}
+func compile(seed, len) {
+	lex(seed, len);
+	var ir = parseall();
+	var checked = checkall(ir);
+	return emitall(checked);
+}
+`)
+
+	mainSrc := `
+func main(seed, len) {
+	return compile(seed, len % 40 + 24);
+}
+`
+	files, err := parse("clangish", map[string]string{
+		"lexer.ml":  srcs.String(),
+		"driver.ml": driver.String(),
+		"main.ml":   mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Client workloads run briefly: few requests even at scale.
+	return &Workload{
+		Name:  "clangish",
+		Files: files,
+		Train: stream(0xC1A96, 6*scale, 2, 100000),
+		Eval:  stream(0xC1A97, 12*scale, 2, 100000),
+	}, nil
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import "fmt"
+
+// genDispatcher builds the indirect-dispatch workload used by the
+// value-profiling extension experiment: requests route through a function
+// table (`icall`) with a heavily skewed target distribution. Instrumented
+// value profiles capture the exact per-site histogram; sampled profiles see
+// only what the LBR records — the gap that powers indirect-call promotion
+// differences between Instr PGO and sampling-based PGO.
+func genDispatcher(scale int) (*Workload, error) {
+	const nHandlers = 12
+
+	handlers := sb()
+	for i := 0; i < nHandlers; i++ {
+		fmt.Fprintf(handlers, `
+func op%d(x, depth) {
+	var v = x * %d + depth;
+	if (v %% %d == 0) { v = v + helper%d(x); }
+	return v %% 65521;
+}
+func helper%d(x) {
+	var s = 0;
+	var k = x %% %d;
+	while (k > 0) { s = s + x %% 11; k = k - 1; }
+	return s;
+}
+`, i, i+2, 7+i, i, i, 4+i%3)
+	}
+
+	router := sb()
+	router.WriteString(`
+func route(kind) {
+`)
+	// Heavily skewed routing: op0 dominates (90%), a warm second, a cold
+	// tail — the regime where guarded promotion beats indirect dispatch.
+	router.WriteString("\tif (kind < 97) { return &op0; }\n")
+	router.WriteString("\tif (kind < 98) { return &op1; }\n")
+
+	for i := 3; i < nHandlers; i++ {
+		fmt.Fprintf(router, "\tif (kind %% %d == 0) { return &op%d; }\n", i+17, i)
+	}
+	router.WriteString("\treturn &op" + fmt.Sprint(nHandlers-1) + ";\n}\n")
+
+	// Six dispatch sites with decreasing heat: site k runs 1/2^k as often.
+	// Hot sites are well-sampled; the warm tail is where exact value
+	// profiles out-promote sampled ones.
+	sites := sb()
+	for k := 0; k < 6; k++ {
+		fmt.Fprintf(sites, `
+func site%d(seed, i) {
+	var kind = (seed + i * %d) %% 100;
+	var h = route(kind);
+	return icall(h, seed + i, i %% 5);
+}
+`, k, 37+k*11)
+	}
+
+	mainSrc := `
+func main(req, seed) {
+	var total = 0;
+	var batch = req % 30 + 20;
+	for (var i = 0; i < batch; i = i + 1) {
+		total = total + site0(seed, i);
+		if (i % 2 == 0) { total = total + site1(seed, i); }
+		if (i % 4 == 0) { total = total + site2(seed, i); }
+		if (i % 8 == 0) { total = total + site3(seed, i); }
+		if (i % 16 == 0) { total = total + site4(seed, i); }
+		if (i % 32 == 0) { total = total + site5(seed, i); }
+	}
+	return total;
+}
+`
+	files, err := parse("dispatcher", map[string]string{
+		"handlers.ml": handlers.String(),
+		"router.ml":   router.String(),
+		"sites.ml":    sites.String(),
+		"main.ml":     mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "dispatcher",
+		Files: files,
+		Train: stream(0xD15A1, 70*scale, 2, 50000),
+		Eval:  stream(0xD15A2, 70*scale, 2, 50000),
+	}, nil
+}

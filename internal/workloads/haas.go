@@ -1,0 +1,101 @@
+package workloads
+
+import "fmt"
+
+// genHaaS builds the JavaScript-remote-execution workload: a recursive
+// evaluator over a seeded expression "AST" in globals, with many node
+// handlers funnelling through a few shared helpers under different modes —
+// a dense dynamic call graph whose context-sensitive profile explodes
+// without cold-context trimming (the paper's ~10x scalability case).
+func genHaaS(scale int) (*Workload, error) {
+	const nKinds = 18
+
+	core := sb()
+	core.WriteString(`
+global nodes[512];
+global kids[512];
+global astinit;
+global evals;
+
+func initast(seed) {
+	var x = seed;
+	for (var i = 0; i < 512; i = i + 1) {
+		x = (x * 48271) % 2147483647;
+		nodes[i] = x % 18;
+		kids[i] = (x / 7) % 512;
+	}
+	astinit = 1;
+	return 0;
+}
+
+func coerce(v, mode) {
+	if (mode == 0) { return v % 256; }
+	if (mode == 1) { if (v < 0) { return 0 - v; } return v; }
+	if (mode == 2) { return v * 2 % 10007; }
+	return v;
+}
+func arith(a, b, mode) {
+	var acc = 0;
+	var k = mode % 4;
+	while (k > 0) { acc = acc + a % 9; k = k - 1; }
+	if (mode % 3 == 0) { return coerce(a + b + acc, mode % 4); }
+	if (mode % 3 == 1) { return coerce(a - b + acc, mode % 4); }
+	return coerce(a * b % 65521 + acc, mode % 4);
+}
+func tostr(v) { return v % 1000 + 7; }
+`)
+	for k := 0; k < nKinds; k++ {
+		fmt.Fprintf(core, `
+func node%d(v, depth) {
+	evals = evals + 1;
+	var a = coerce(v, %d);
+	var b = arith(a, depth, %d);
+	return b + tostr(a) %% %d;
+}
+`, k, k%4, k%9, 13+k)
+	}
+
+	eval := sb()
+	eval.WriteString(`
+func evalnode(idx, depth) {
+	if (depth > 6) { return nodes[idx % 512]; }
+	var kind = nodes[idx % 512];
+	var child = evalnode(kids[idx % 512], depth + 1);
+	var v = 0;
+	switch (kind) {
+`)
+	for k := 0; k < nKinds; k++ {
+		fmt.Fprintf(eval, "\tcase %d: v = node%d(child, depth);\n", k, k)
+	}
+	eval.WriteString(`	default: v = child;
+	}
+	return v;
+}
+`)
+
+	mainSrc := `
+func main(req, n) {
+	if (astinit == 0) { initast(31337); }
+	var total = 0;
+	var scripts = n % 12 + 6;
+	for (var s = 0; s < scripts; s = s + 1) {
+		total = total + evalnode(req + s * 29, 0);
+	}
+	return total;
+}
+`
+	files, err := parse("haas", map[string]string{
+		"runtime.ml": core.String(),
+		"eval.ml":    eval.String(),
+		"main.ml":    mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "haas",
+		Files: files,
+		Train: stream(0x11AA5, 70*scale, 2, 100000),
+		Eval:  stream(0x22AA5, 70*scale, 2, 100000),
+	}, nil
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import "fmt"
+
+// genHHVM builds the bytecode-interpreter workload: a seeded bytecode image
+// in a global array, a dispatch loop switching over 16 opcodes, and a
+// handler function per opcode manipulating a virtual operand stack. Large
+// code footprint with a single scorching dispatch loop — the i-cache/layout
+// workload, and the one tractable enough to instrument for ground truth
+// (as in the paper, where HHVM is the only Instr PGO datapoint).
+func genHHVM(scale int) (*Workload, error) {
+	interp := sb()
+	interp.WriteString(`
+global code[512];
+global stack[64];
+global sp;
+global heap[128];
+global codeinit;
+
+func initcode(seed) {
+	var x = seed * 2654435761 % 1000003;
+	for (var i = 0; i < 512; i = i + 1) {
+		x = (x * 1103515245 + 12345) % 2147483647;
+		code[i] = x % 16;
+	}
+	codeinit = 1;
+	return 0;
+}
+
+func push(v) {
+	stack[sp % 64] = v;
+	sp = sp + 1;
+	return sp;
+}
+func pop() {
+	if (sp > 0) { sp = sp - 1; }
+	return stack[sp % 64];
+}
+`)
+	// 16 opcode handlers of varying size; arithmetic ones are hot.
+	handlers := []string{
+		"return push(pop() + pop());",
+		"return push(pop() - pop());",
+		"return push(pop() * 3 + 1);",
+		"var a = pop(); var b = pop(); if (b != 0) { return push(a / b); } return push(a);",
+		"var a = pop(); var b = pop(); if (b != 0) { return push(a % b); } return push(0);",
+		"return push(pc * 2 + 1);",
+		"var v = pop(); heap[v % 128] = v; return v;",
+		"return push(heap[pc % 128]);",
+		"var a = pop(); if (a > 0) { return push(1); } return push(0);",
+		"var a = pop(); var b = pop(); if (a < b) { return push(a); } return push(b);",
+		"var a = pop(); var b = pop(); if (a > b) { return push(a); } return push(b);",
+		"var s = 0; for (var k = 0; k < 4; k = k + 1) { s = s + heap[(pc + k) % 128]; } return push(s);",
+		"var v = pop(); var s = 0; var k = v % 6; while (k > 0) { s = s + k; k = k - 1; } return push(s);",
+		"heap[pc % 128] = heap[pc % 128] + 1; return push(heap[pc % 128]);",
+		"return push(0 - pop());",
+		"var a = pop(); return push(a * a % 65521);",
+	}
+	for i, body := range handlers {
+		fmt.Fprintf(interp, "\nfunc op%d(pc) {\n\t%s\n}\n", i, body)
+	}
+
+	dispatch := sb()
+	dispatch.WriteString(`
+func interp(start, steps) {
+	var pc = start % 512;
+	var acc = 0;
+	for (var s = 0; s < steps; s = s + 1) {
+		var op = code[pc];
+		switch (op) {
+`)
+	for i := range handlers {
+		fmt.Fprintf(dispatch, "\t\tcase %d: acc = acc + op%d(pc);\n", i, i)
+	}
+	dispatch.WriteString(`		}
+		pc = (pc + op % 3 + 1) % 512;
+	}
+	return acc + sp;
+}
+`)
+
+	mainSrc := `
+func main(req, steps) {
+	if (codeinit == 0) { initcode(9001); }
+	sp = 0;
+	return interp(req, steps % 300 + 150);
+}
+`
+	files, err := parse("hhvm", map[string]string{
+		"vm.ml":       interp.String(),
+		"dispatch.ml": dispatch.String(),
+		"main.ml":     mainSrc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name:  "hhvm",
+		Files: files,
+		Train: stream(0x44711, 50*scale, 2, 100000),
+		Eval:  stream(0x44722, 50*scale, 2, 100000),
+	}, nil
+}

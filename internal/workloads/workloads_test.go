@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"testing"
+
+	"csspgo/internal/codegen"
+	"csspgo/internal/irgen"
+	"csspgo/internal/probe"
+	"csspgo/internal/sim"
+)
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	for _, name := range AllNames() {
+		t.Run(name, func(t *testing.T) {
+			w, err := Load(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Files) < 2 {
+				t.Fatalf("%s: want multiple modules, got %d", name, len(w.Files))
+			}
+			if len(w.Train) == 0 || len(w.Eval) == 0 {
+				t.Fatal("empty request streams")
+			}
+			p, err := irgen.Lower(w.Files...)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			probe.InsertProgram(p)
+			bin, err := codegen.Lower(p, codegen.Options{})
+			if err != nil {
+				t.Fatalf("codegen: %v", err)
+			}
+			m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
+			n := len(w.Train)
+			if n > 10 {
+				n = 10
+			}
+			for _, req := range w.Train[:n] {
+				if _, err := m.Run(req...); err != nil {
+					t.Fatalf("run %v: %v", req, err)
+				}
+			}
+			st := m.Stats()
+			if st.Instructions < 1000 {
+				t.Fatalf("%s too trivial: %d instructions for 10 requests", name, st.Instructions)
+			}
+			t.Logf("%s: text=%dB funcs=%d, %d instrs / 10 reqs",
+				name, bin.TextSize, len(bin.Funcs), st.Instructions)
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a, err := Load("hhvm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("hhvm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range a.Train {
+		for j := range a.Train[i] {
+			if a.Train[i][j] != b.Train[i][j] {
+				t.Fatal("train streams not deterministic")
+			}
+		}
+	}
+}
+
+func TestTrainEvalStreamsDiffer(t *testing.T) {
+	w, err := Load("adranker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range w.Train {
+		if i < len(w.Eval) && w.Train[i][0] == w.Eval[i][0] {
+			same++
+		}
+	}
+	if same == len(w.Train) {
+		t.Fatal("train and eval streams identical — held-out evaluation impossible")
+	}
+}
+
+func TestScaleGrowsStreams(t *testing.T) {
+	w1, _ := Load("adfinder", 1)
+	w3, _ := Load("adfinder", 3)
+	if len(w3.Train) != 3*len(w1.Train) {
+		t.Fatalf("scale: %d vs %d", len(w3.Train), len(w1.Train))
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Load("nope", 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
