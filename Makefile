@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full hygiene gate: gofmt, vet, build, tests, and `csspgo lint` over every
+# example module (checked pipeline + profile/IR lint suite).
+check:
+	sh scripts/check.sh

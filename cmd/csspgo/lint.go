@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"csspgo/internal/analysis"
+	"csspgo/internal/opt"
+	"csspgo/internal/pgo"
+)
+
+// lintReport is the machine-readable output of `csspgo lint -json`.
+type lintReport struct {
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Violation   *lintPassViolation    `json:"passViolation,omitempty"`
+}
+
+// lintPassViolation serializes an opt.PassViolation.
+type lintPassViolation struct {
+	Pass  string                `json:"pass"`
+	Func  string                `json:"func"`
+	Diags []analysis.Diagnostic `json:"diagnostics"`
+	Diff  string                `json:"irDiff"`
+}
+
+// cmdLint builds the sources under the checked pipeline and runs the full
+// analysis suite: dominator/dataflow lints (use-before-def, unreachable
+// blocks), flow conservation on the inferred profile, probe placement, and
+// profile linting against the pristine probed IR. Diagnostics carry a
+// severity and, for pipeline violations, the name of the offending pass.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	profPath := fs.String("profile", "", "profile to lint and build with (text format)")
+	probes := fs.Bool("probes", true, "insert pseudo-probes before the pipeline")
+	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
+	verifyEach := fs.Bool("verify-each", true, "check IR invariants after every pass")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	_ = fs.Parse(args)
+
+	files, err := parseFiles(fs.Args())
+	if err != nil {
+		return err
+	}
+	cfg := pgo.BuildConfig{
+		Probes:                *probes,
+		UsePreInlineDecisions: *preinl,
+		VerifyEach:            *verifyEach,
+	}
+	if *profPath != "" {
+		prof, err := loadProfile(*profPath)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = prof
+	}
+
+	rep := lintReport{Diagnostics: []analysis.Diagnostic{}}
+	res, err := pgo.Build(files, cfg)
+	if err != nil {
+		var pv *opt.PassViolation
+		if !errors.As(err, &pv) {
+			return err
+		}
+		rep.Violation = &lintPassViolation{
+			Pass: pv.Pass, Func: pv.Func, Diags: pv.Diags, Diff: pv.Diff(),
+		}
+		rep.Diagnostics = append(rep.Diagnostics, pv.Diags...)
+	} else {
+		// Lint the profile against the pristine probed IR (checksums and
+		// probe allocations as they were at collection time), then the
+		// optimized program itself.
+		if cfg.Profile != nil {
+			rep.Diagnostics = append(rep.Diagnostics, analysis.CheckProfile(cfg.Profile, res.FreshIR)...)
+		}
+		opts := analysis.DefaultOptions()
+		opts.Flow = cfg.Profile != nil // inference ran last, so flow must hold
+		opts.Probes = *probes
+		rep.Diagnostics = append(rep.Diagnostics, analysis.CheckProgram(res.IR, opts)...)
+	}
+	for _, d := range rep.Diagnostics {
+		switch d.Sev {
+		case analysis.SevError:
+			rep.Errors++
+		case analysis.SevWarning:
+			rep.Warnings++
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		if rep.Violation != nil {
+			fmt.Printf("pass %q broke function %s:\n", rep.Violation.Pass, rep.Violation.Func)
+			for _, d := range rep.Violation.Diags {
+				fmt.Printf("  %s\n", d)
+			}
+			fmt.Println("IR diff (before/after the pass):")
+			fmt.Print(rep.Violation.Diff)
+		} else {
+			for _, d := range rep.Diagnostics {
+				fmt.Println(d)
+			}
+		}
+		fmt.Printf("lint: %d error(s), %d warning(s)\n", rep.Errors, rep.Warnings)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("lint: %d error(s)", rep.Errors)
+	}
+	return nil
+}

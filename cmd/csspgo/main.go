@@ -10,6 +10,7 @@
 //	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin
+//	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-json] src.ml...
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint> [flags]")
 	os.Exit(2)
 }
 

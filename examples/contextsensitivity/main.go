@@ -8,6 +8,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"strings"
@@ -15,24 +16,11 @@ import (
 	"csspgo"
 )
 
-const vectorApp = `
-func main(n, unused) {
-	var s = 0;
-	for (var i = 0; i < n % 60 + 30; i = i + 1) {
-		s = s + addVectorHead(i);
-		s = s + subVectorHead(i);
-	}
-	return s;
-}
-func addVectorHead(x) { return scalarOp(x, 1); }
-func subVectorHead(x) { return scalarOp(x, 2); }
-func scalarOp(x, op) {
-	if (op == 1) { return scalarAdd(x); }
-	return scalarSub(x);
-}
-func scalarAdd(x) { return x + 10; }
-func scalarSub(x) { return x - 10; }
-`
+// The MiniLang module lives in its own file so `csspgo lint` (and the other
+// CLI subcommands) can consume it directly.
+//
+//go:embed vector.ml
+var vectorApp string
 
 func main() {
 	mods := []csspgo.Module{{Name: "vector.ml", Source: vectorApp}}

@@ -1,0 +1,17 @@
+
+func main(n, unused) {
+	var s = 0;
+	for (var i = 0; i < n % 60 + 30; i = i + 1) {
+		s = s + addVectorHead(i);
+		s = s + subVectorHead(i);
+	}
+	return s;
+}
+func addVectorHead(x) { return scalarOp(x, 1); }
+func subVectorHead(x) { return scalarOp(x, 2); }
+func scalarOp(x, op) {
+	if (op == 1) { return scalarAdd(x); }
+	return scalarSub(x);
+}
+func scalarAdd(x) { return x + 10; }
+func scalarSub(x) { return x - 10; }

@@ -1,0 +1,18 @@
+
+func main(n, seed) {
+	var fast = &fastpath;
+	var slow = &slowpath;
+	var total = 0;
+	for (var i = 0; i < n % 60 + 40; i = i + 1) {
+		var h = fast;
+		if ((seed + i) % 23 == 0) { h = slow; }
+		total = total + icall(h, i);
+	}
+	return total;
+}
+func fastpath(x) { return x * 2 + 1; }
+func slowpath(x) {
+	var s = 0;
+	for (var k = 0; k < 12; k = k + 1) { s = s + x % 7; }
+	return s;
+}

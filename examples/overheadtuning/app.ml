@@ -1,0 +1,15 @@
+
+func main(n, unused) {
+	var s = 0;
+	for (var i = 0; i < n % 100 + 50; i = i + 1) {
+		var v = i % 9;
+		if (v > 4) { s = s + i * 2; } else { s = s + i; }
+		if (v % 2 == 0) { s = s - 1; } else { s = s + 1; }
+		s = s + tiny(i);
+	}
+	return s;
+}
+func tiny(x) {
+	if (x % 3 == 0) { return x + 7; }
+	return x - 7;
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -20,22 +21,11 @@ import (
 	"csspgo/internal/source"
 )
 
-const app = `
-func main(n, unused) {
-	var s = 0;
-	for (var i = 0; i < n % 100 + 50; i = i + 1) {
-		var v = i % 9;
-		if (v > 4) { s = s + i * 2; } else { s = s + i; }
-		if (v % 2 == 0) { s = s - 1; } else { s = s + 1; }
-		s = s + tiny(i);
-	}
-	return s;
-}
-func tiny(x) {
-	if (x % 3 == 0) { return x + 7; }
-	return x - 7;
-}
-`
+// The MiniLang module lives in its own file so `csspgo lint` (and the other
+// CLI subcommands) can consume it directly.
+//
+//go:embed app.ml
+var app string
 
 func build(barrier opt.BarrierStrength, probes, counters bool) *sim.Machine {
 	f, err := source.Parse("app.ml", app)

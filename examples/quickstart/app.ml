@@ -1,0 +1,28 @@
+
+global requests;
+
+func main(n, seed) {
+	requests = requests + 1;
+	var total = 0;
+	for (var i = 0; i < n % 40 + 20; i = i + 1) {
+		total = total + handle(i, seed);
+	}
+	return total;
+}
+
+func handle(item, seed) {
+	if (item % 4 == 0) { return transform(item + seed, 1); }
+	if (item % 4 == 1) { return transform(item * 3, 2); }
+	return transform(item - seed, 3);
+}
+
+func transform(v, mode) {
+	if (mode == 1) { return v * 2 + 1; }
+	if (mode == 2) {
+		var s = 0;
+		var k = v % 9;
+		while (k > 0) { s = s + v % 7; k = k - 1; }
+		return s;
+	}
+	return v % 1000;
+}

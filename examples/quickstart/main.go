@@ -5,41 +5,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"csspgo"
 )
 
-const app = `
-global requests;
-
-func main(n, seed) {
-	requests = requests + 1;
-	var total = 0;
-	for (var i = 0; i < n % 40 + 20; i = i + 1) {
-		total = total + handle(i, seed);
-	}
-	return total;
-}
-
-func handle(item, seed) {
-	if (item % 4 == 0) { return transform(item + seed, 1); }
-	if (item % 4 == 1) { return transform(item * 3, 2); }
-	return transform(item - seed, 3);
-}
-
-func transform(v, mode) {
-	if (mode == 1) { return v * 2 + 1; }
-	if (mode == 2) {
-		var s = 0;
-		var k = v % 9;
-		while (k > 0) { s = s + v % 7; k = k - 1; }
-		return s;
-	}
-	return v % 1000;
-}
-`
+// The MiniLang module lives in its own file so `csspgo lint` (and the other
+// CLI subcommands) can consume it directly.
+//
+//go:embed app.ml
+var app string
 
 func main() {
 	mods := []csspgo.Module{{Name: "app.ml", Source: app}}

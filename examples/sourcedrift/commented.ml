@@ -1,0 +1,15 @@
+
+func main(n, unused) {
+	var s = 0;
+	for (var i = 0; i < n % 80 + 40; i = i + 1) { s = s + score(i); }
+	return s;
+}
+func score(x) {
+	// a helpful comment, freshly added
+	// (and a second line of it)
+	var acc = x % 7;
+	if (acc > 3) { acc = acc * 2; }
+	var k = x % 5;
+	while (k > 0) { acc = acc + k; k = k - 1; }
+	return acc;
+}

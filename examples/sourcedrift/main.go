@@ -7,62 +7,26 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"csspgo"
 )
 
-// Three versions of the same module: pristine, a comment added inside the
-// hot function (lines below it shift), and a real logic change (CFG
-// differs).
-const pristine = `
-func main(n, unused) {
-	var s = 0;
-	for (var i = 0; i < n % 80 + 40; i = i + 1) { s = s + score(i); }
-	return s;
-}
-func score(x) {
-	var acc = x % 7;
-	if (acc > 3) { acc = acc * 2; }
-	var k = x % 5;
-	while (k > 0) { acc = acc + k; k = k - 1; }
-	return acc;
-}
-`
-
-const commented = `
-func main(n, unused) {
-	var s = 0;
-	for (var i = 0; i < n % 80 + 40; i = i + 1) { s = s + score(i); }
-	return s;
-}
-func score(x) {
-	// a helpful comment, freshly added
-	// (and a second line of it)
-	var acc = x % 7;
-	if (acc > 3) { acc = acc * 2; }
-	var k = x % 5;
-	while (k > 0) { acc = acc + k; k = k - 1; }
-	return acc;
-}
-`
-
-const cfgChanged = `
-func main(n, unused) {
-	var s = 0;
-	for (var i = 0; i < n % 80 + 40; i = i + 1) { s = s + score(i); }
-	return s;
-}
-func score(x) {
-	var acc = x % 7;
-	if (acc > 3) { acc = acc * 2; }
-	if (acc > 10) { acc = acc - 1; }
-	var k = x % 5;
-	while (k > 0) { acc = acc + k; k = k - 1; }
-	return acc;
-}
-`
+// Three versions of the same module in their own files (so `csspgo lint`
+// can consume them directly): pristine, a comment added inside the hot
+// function (lines below it shift), and a real logic change (CFG differs).
+// The embeds are byte-exact — line numbers in the lowered IR depend on
+// them, which is the whole point of this example.
+var (
+	//go:embed pristine.ml
+	pristine string
+	//go:embed commented.ml
+	commented string
+	//go:embed cfgchanged.ml
+	cfgChanged string
+)
 
 func main() {
 	train := make([][]int64, 60)

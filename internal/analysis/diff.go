@@ -1,0 +1,63 @@
+package analysis
+
+import "strings"
+
+// DiffLines renders a compact unified-style line diff of two texts (no
+// context collapsing — IR snapshots are short). Shared lines print with a
+// leading space, removals with '-', additions with '+'. Used by the checked
+// pipeline mode to show how the offending pass rewrote a function.
+func DiffLines(before, after string) string {
+	a := splitLines(before)
+	b := splitLines(after)
+
+	// Longest-common-subsequence table; snapshots are tens of lines, so the
+	// quadratic table is fine.
+	n, m := len(a), len(b)
+	lcs := make([][]int16, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int16, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var sb strings.Builder
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			sb.WriteString("  " + a[i] + "\n")
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			sb.WriteString("- " + a[i] + "\n")
+			i++
+		default:
+			sb.WriteString("+ " + b[j] + "\n")
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		sb.WriteString("- " + a[i] + "\n")
+	}
+	for ; j < m; j++ {
+		sb.WriteString("+ " + b[j] + "\n")
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"sort"
+
+	"csspgo/internal/ir"
+)
+
+// DomTree is a dominator tree with O(1) dominance queries via pre/post
+// interval numbering. Blocks not reachable from entry have no node.
+type DomTree struct {
+	Idom     map[*ir.Block]*ir.Block   // immediate dominator; entry maps to itself
+	Children map[*ir.Block][]*ir.Block // dom-tree children, ordered by block ID
+	pre      map[*ir.Block]int
+	post     map[*ir.Block]int
+}
+
+// NewDomTree builds the dominator tree of f's reachable CFG.
+func NewDomTree(f *ir.Function) *DomTree {
+	t := &DomTree{
+		Idom:     f.Dominators(),
+		Children: map[*ir.Block][]*ir.Block{},
+		pre:      map[*ir.Block]int{},
+		post:     map[*ir.Block]int{},
+	}
+	entry := f.Entry()
+	for b, d := range t.Idom {
+		if b != entry {
+			t.Children[d] = append(t.Children[d], b)
+		}
+	}
+	for _, kids := range t.Children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+	}
+	// Iterative DFS assigning pre/post intervals: a dominates b iff a's
+	// interval encloses b's.
+	clock := 0
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := []frame{{b: entry}}
+	t.pre[entry] = clock
+	clock++
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		kids := t.Children[fr.b]
+		if fr.next < len(kids) {
+			c := kids[fr.next]
+			fr.next++
+			t.pre[c] = clock
+			clock++
+			stack = append(stack, frame{b: c})
+			continue
+		}
+		t.post[fr.b] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// Reachable reports whether b was reachable from entry when the tree was
+// built.
+func (t *DomTree) Reachable(b *ir.Block) bool {
+	_, ok := t.Idom[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexively). Unreachable blocks
+// dominate nothing and are dominated by nothing.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	pa, oka := t.pre[a]
+	pb, okb := t.pre[b]
+	if !oka || !okb {
+		return false
+	}
+	return pa <= pb && t.post[b] <= t.post[a]
+}
+
+// Depth returns b's depth in the dominator tree (entry is 0), or -1 for
+// unreachable blocks.
+func (t *DomTree) Depth(b *ir.Block) int {
+	if !t.Reachable(b) {
+		return -1
+	}
+	d := 0
+	for b != t.Idom[b] {
+		b = t.Idom[b]
+		d++
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+
+	"csspgo/internal/ir"
+)
+
+// checkFlow runs the Kirchhoff flow-conservation checks on a function whose
+// weights inference claims to have made consistent:
+//
+//   - every reachable block with successors has edge weights parallel to
+//     them, summing to the block weight (outflow conservation);
+//   - every reachable non-entry block's incoming edge weights sum to its
+//     weight (inflow conservation — the entry additionally receives the
+//     virtual-source flow, return blocks drain to the virtual sink);
+//   - the entry block's weight roughly matches the annotated entry count.
+//
+// Functions with no annotated blocks are skipped; partially annotated
+// functions get a single warning (conservation is not judgeable there).
+func checkFlow(f *ir.Function, opts Options) []Diagnostic {
+	blocks := f.ReachableOrder()
+	annotated, bare := 0, 0
+	for _, b := range blocks {
+		if b.HasWeight {
+			annotated++
+		} else {
+			bare++
+		}
+	}
+	if annotated == 0 {
+		return nil
+	}
+	if bare > 0 {
+		return []Diagnostic{{
+			Sev: SevWarning, Check: "flow-conservation", Func: f.Name, Block: -1,
+			Msg: fmt.Sprintf("partially annotated: %d of %d reachable blocks carry no weight; conservation not judgeable", bare, annotated+bare),
+		}}
+	}
+
+	var diags []Diagnostic
+	inflow := make(map[*ir.Block]uint64, len(blocks))
+	for _, b := range blocks {
+		for si, s := range b.Term.Succs {
+			if si < len(b.Term.EdgeW) {
+				inflow[s] += b.Term.EdgeW[si]
+			}
+		}
+	}
+	for i, b := range blocks {
+		if len(b.Term.Succs) > 0 {
+			if len(b.Term.EdgeW) != len(b.Term.Succs) {
+				diags = append(diags, Diagnostic{
+					Sev: SevError, Check: "flow-conservation", Func: f.Name, Block: b.ID,
+					Msg: fmt.Sprintf("annotated block has %d edge weights for %d successors", len(b.Term.EdgeW), len(b.Term.Succs)),
+				})
+				continue
+			}
+			var out uint64
+			for _, w := range b.Term.EdgeW {
+				out += w
+			}
+			if !approxEq(out, b.Weight, opts.FlowTol) {
+				diags = append(diags, Diagnostic{
+					Sev: SevError, Check: "flow-conservation", Func: f.Name, Block: b.ID,
+					Msg: fmt.Sprintf("outgoing edge weights sum to %d, block weight is %d", out, b.Weight),
+				})
+			}
+		}
+		if i == 0 {
+			// Entry: inflow comes from the virtual source (plus back edges);
+			// compare against the annotated entry count instead.
+			if f.EntryCount > 0 && !approxEq(b.Weight, f.EntryCount, opts.EntryTol) {
+				diags = append(diags, Diagnostic{
+					Sev: SevWarning, Check: "flow-conservation", Func: f.Name, Block: b.ID,
+					Msg: fmt.Sprintf("entry block weight %d far from annotated entry count %d", b.Weight, f.EntryCount),
+				})
+			}
+			continue
+		}
+		if !approxEq(inflow[b], b.Weight, opts.FlowTol) {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "flow-conservation", Func: f.Name, Block: b.ID,
+				Msg: fmt.Sprintf("incoming edge weights sum to %d, block weight is %d", inflow[b], b.Weight),
+			})
+		}
+	}
+	return diags
+}

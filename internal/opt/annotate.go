@@ -20,6 +20,9 @@ type AnnotateStats struct {
 // the maximum count among their statements' line offsets; line profiles
 // carry no checksum, so drifted profiles silently annotate wrong blocks —
 // the failure mode pseudo-instrumentation eliminates.
+// annotatePass: raw profile counts are not flow-conserved until inference.
+var annotatePass = registerPass("annotate", flowPerturbs)
+
 func Annotate(p *ir.Program, prof *profdata.Profile) AnnotateStats {
 	var st AnnotateStats
 	for _, f := range p.Functions() {

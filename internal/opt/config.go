@@ -7,7 +7,10 @@
 // per the configured barrier strength.
 package opt
 
-import "csspgo/internal/profdata"
+import (
+	"csspgo/internal/ir"
+	"csspgo/internal/profdata"
+)
 
 // BarrierStrength says how strongly probes block control-flow-merging
 // optimizations (the paper's tunable overhead/accuracy knob, §III.A).
@@ -93,6 +96,17 @@ type Config struct {
 	// decisions, contexts at least this hot are inlined by the top-down
 	// sample inliner.
 	CSHotContextThreshold uint64
+	// VerifyEach enables checked pipeline mode (LLVM -verify-each style):
+	// after every pass, Function.Verify and the analysis suite run over the
+	// whole program, and the first error-severity finding aborts Optimize
+	// with a *PassViolation naming the offending pass and function, with a
+	// before/after IR diff of that function.
+	VerifyEach bool
+
+	// testCorruptAfter lets tests of checked mode inject a deliberate
+	// violation right after the named pass runs and before its check fires,
+	// to prove attribution lands on that pass. Nil outside tests.
+	testCorruptAfter map[string]func(*ir.Program)
 }
 
 // TrainingConfig is the -O2, no-PGO pipeline used to build profiling
@@ -113,6 +127,8 @@ type Stats struct {
 	InferenceAdjust  int
 	SampleInlines    int
 	StaticInlines    int
+	CFGMerged        int
+	CFGEmptyRemoved  int
 	TailMerges       int
 	TailMergeBlocked int
 	IfConverts       int

@@ -5,6 +5,10 @@ import "csspgo/internal/ir"
 // DCE removes pure instructions whose results are never used, iterating to
 // a fixed point. Probes, counters, stores and calls are never removed.
 // Returns the number of instructions deleted.
+// dcePass removes only pure unused instructions — the CFG, block weights and
+// edge weights are untouched, so flow conservation is preserved.
+var dcePass = registerPass("dce", flowPreserves)
+
 func DCE(f *ir.Function) int {
 	removed := 0
 	for {

@@ -7,6 +7,9 @@ import "csspgo/internal/ir"
 // remaining callers and their standalone bodies disappear from the binary
 // (the code-size payoff the pre-inliner's binary-extracted sizes predict).
 // Returns the number of functions dropped.
+// deadFuncPass drops whole functions; surviving bodies are untouched.
+var deadFuncPass = registerPass("drop-dead-functions", flowPreserves)
+
 func DropDeadFunctions(p *ir.Program) int {
 	reach := map[string]bool{"main": true}
 	work := []string{"main"}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"csspgo/internal/analysis"
 	"csspgo/internal/codegen"
 	"csspgo/internal/ir"
 	"csspgo/internal/irgen"
@@ -225,7 +226,8 @@ func TestRandomProgramsSemanticPreservation(t *testing.T) {
 			})
 			check("full-csspgo-pipeline", func(p *ir.Program) error {
 				// Train a probed sibling, profile it, then optimize p with
-				// the CS profile at full throttle.
+				// the CS profile at full throttle. VerifyEach turns the
+				// analysis suite into a per-pass fuzz oracle.
 				train := runTrainingBuild(t, src)
 				probe.InsertProgram(p)
 				cfg := &Config{
@@ -233,9 +235,18 @@ func TestRandomProgramsSemanticPreservation(t *testing.T) {
 					Inline: DefaultInlineParams(), UnrollFactor: 4,
 					EnableTCE: true, Layout: true, Split: true,
 					CSHotContextThreshold: 2,
+					VerifyEach:            true,
 				}
-				_, err := Optimize(p, cfg)
-				return err
+				if _, err := Optimize(p, cfg); err != nil {
+					return err
+				}
+				// End-state oracle: any fuzzed program that passes ir.Verify
+				// must leave the pipeline flow-conserved, since inference ran
+				// after the last CFG-perturbing pass.
+				if e := analysis.FirstError(analysis.CheckProgram(p, analysis.DefaultOptions())); e != nil {
+					return fmt.Errorf("analysis oracle: %s", e)
+				}
+				return nil
 			})
 		})
 	}

@@ -22,6 +22,9 @@ type IfConvertResult struct {
 //   - BarrierNone: proceeds.
 //
 // maxArmInstrs bounds each arm's real instruction count.
+// ifConvertPass collapses diamonds to selects, merging arm weights.
+var ifConvertPass = registerPass("if-convert", flowPerturbs)
+
 func IfConvert(f *ir.Function, barrier BarrierStrength, maxArmInstrs int) IfConvertResult {
 	var res IfConvertResult
 	for {

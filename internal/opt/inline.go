@@ -194,6 +194,9 @@ func appendSite(chain, site *ir.ProbeSite) *ir.ProbeSite {
 // with a larger budget at profile-hot call sites and a token budget for
 // cold ones. ThinLTO partitioning is respected: cross-module callees
 // inline only when small enough to have been imported by summary.
+// inlinePass grafts scaled callee CFGs into callers.
+var inlinePass = registerPass("inline", flowPerturbs)
+
 func BottomUpInline(p *ir.Program, params InlineParams, profiled bool) int {
 	cg := ir.BuildCallGraph(p)
 	inlines := 0

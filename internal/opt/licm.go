@@ -15,6 +15,9 @@ import "csspgo/internal/ir"
 // renamed chains, so whole invariant expression trees move out together.
 //
 // Returns the number of instructions hoisted.
+// licmPass may materialize preheader blocks without profile weights.
+var licmPass = registerPass("licm", flowPerturbs)
+
 func LICM(f *ir.Function) int {
 	hoisted := 0
 	for _, loop := range f.NaturalLoops() {

@@ -6,13 +6,47 @@ import (
 	"csspgo/internal/profdata"
 )
 
+// Passes with entry points outside this package (or with none at all)
+// register here; passes defined in this package register next to their
+// entry point.
+var (
+	inferencePass   = registerPass("inference", flowRestores)
+	unreachablePass = registerPass("remove-unreachable", flowPreserves)
+)
+
+// runner sequences registered passes over one program, optionally checking
+// every pass boundary (Config.VerifyEach).
+type runner struct {
+	p     *ir.Program
+	cfg   *Config
+	check *checker
+}
+
+// run executes one pass under its registered identity. In checked mode the
+// structural verifier and the analysis suite run afterwards, and the first
+// error-severity finding aborts the pipeline with a *PassViolation naming
+// this pass.
+func (r *runner) run(id PassID, fn func()) error {
+	fn()
+	if r.cfg.testCorruptAfter != nil {
+		if corrupt := r.cfg.testCorruptAfter[id.name]; corrupt != nil {
+			corrupt(r.p)
+		}
+	}
+	if r.check != nil {
+		return r.check.after(id)
+	}
+	return nil
+}
+
 // Optimize runs the full pipeline over the program, mirroring the paper's
 // Fig. 1 flow: profile annotation + inference, profile-guided top-down
 // inlining (sample loader / early inliner), the scalar and control-flow
 // pipeline (SimplifyCFG, DCE, LICM, unroll, if-convert, tail merge), the
 // main bottom-up inliner, tail-call elimination, then the profile-consuming
 // backend passes (layout, splitting) after a final inference pass restores
-// flow consistency.
+// flow consistency. With cfg.VerifyEach, every pass boundary is verified
+// and the first violation aborts with a *PassViolation attributing it.
 func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 	st := &Stats{}
 	// Record ThinLTO summary sizes on pristine bodies (importability is
@@ -22,17 +56,29 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 			f.SummarySize = realSize(f)
 		}
 	}
+	r := &runner{p: p, cfg: cfg}
+	if cfg.VerifyEach {
+		r.check = newChecker(p)
+	}
 	prof := cfg.Profile
 	if prof != nil {
 		prof = prof.Clone() // the pipeline consumes/mutates the profile
 		if prof.CS {
 			PrepareCSProfile(prof, cfg.UsePreInlineDecisions, cfg.CSHotContextThreshold)
 		}
-		a := Annotate(p, prof)
-		st.AnnotatedFuncs = a.Annotated
-		st.StaleFuncs = a.Stale
+		if err := r.run(annotatePass, func() {
+			a := Annotate(p, prof)
+			st.AnnotatedFuncs = a.Annotated
+			st.StaleFuncs = a.Stale
+		}); err != nil {
+			return st, err
+		}
 		if cfg.Inference {
-			st.InferenceAdjust = inference.InferProgram(p)
+			if err := r.run(inferencePass, func() {
+				st.InferenceAdjust = inference.InferProgram(p)
+			}); err != nil {
+				return st, err
+			}
 		}
 		// ICP needs the flat target histograms before the CS inliner
 		// consumes the context table.
@@ -45,25 +91,46 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 			}
 		}
 		// Top-down profile-guided inlining.
-		if prof.CS {
-			st.SampleInlines = SampleInlineCS(p, prof, st)
-		} else {
-			st.SampleInlines = SampleInlineAutoFDO(p, cfg.Inline)
+		if err := r.run(sampleInlinePass, func() {
+			if prof.CS {
+				st.SampleInlines = SampleInlineCS(p, prof, st)
+			} else {
+				st.SampleInlines = SampleInlineAutoFDO(p, cfg.Inline)
+			}
+		}); err != nil {
+			return st, err
 		}
 		// Indirect-call promotion runs after the sample inliner (so the
 		// hot wrappers are already merged into their callers and promotion
 		// does not inflate them out of inlining range) and before the
 		// bottom-up inliner (so promoted direct calls can inline).
 		if !cfg.DisableICP {
-			st.ICPromotions = ICPProgram(p, flatView, DefaultICPParams())
+			if err := r.run(icpPass, func() {
+				st.ICPromotions = ICPProgram(p, flatView, DefaultICPParams())
+			}); err != nil {
+				return st, err
+			}
 		}
 	}
 
 	// Early cleanup.
-	for _, f := range p.Functions() {
-		r := SimplifyCFG(f, false, cfg.Barrier)
-		_ = r
-		st.DCERemoved += DCE(f)
+	if err := r.run(simplifyPass, func() {
+		for _, f := range p.Functions() {
+			sr := SimplifyCFG(f, false, cfg.Barrier)
+			st.CFGMerged += sr.Merged
+			st.CFGEmptyRemoved += sr.EmptyRemoved
+			st.TailMerges += sr.TailMerges
+			st.TailMergeBlocked += sr.TailMergeBlocked
+		}
+	}); err != nil {
+		return st, err
+	}
+	if err := r.run(dcePass, func() {
+		for _, f := range p.Functions() {
+			st.DCERemoved += DCE(f)
+		}
+	}); err != nil {
+		return st, err
 	}
 
 	// Main bottom-up inliner.
@@ -73,47 +140,107 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 		// only picks up cheap wins.
 		inl.HotThreshold = inl.SizeThreshold
 	}
-	st.StaticInlines = BottomUpInline(p, inl, prof != nil)
+	if err := r.run(inlinePass, func() {
+		st.StaticInlines = BottomUpInline(p, inl, prof != nil)
+	}); err != nil {
+		return st, err
+	}
 
-	// Scalar/control-flow pipeline per function.
-	for _, f := range p.Functions() {
-		st.LICMHoisted += LICM(f)
-		if cfg.UnrollFactor >= 2 {
-			params := UnrollParams{Factor: cfg.UnrollFactor, MaxBodyInstrs: 10}
-			if prof != nil {
-				params.HotWeight = hotLoopThreshold(f)
-				params.MaxBodyInstrs = 24
-			}
-			st.Unrolled += Unroll(f, params)
+	// Scalar/control-flow pipeline.
+	if err := r.run(licmPass, func() {
+		for _, f := range p.Functions() {
+			st.LICMHoisted += LICM(f)
 		}
-		ic := IfConvert(f, cfg.Barrier, 3)
-		st.IfConverts += ic.Converted
-		st.IfConvertBlocked += ic.Blocked
-		sr := SimplifyCFG(f, true, cfg.Barrier)
-		st.TailMerges += sr.TailMerges
-		st.TailMergeBlocked += sr.TailMergeBlocked
-		st.DCERemoved += DCE(f)
-		if cfg.EnableTCE {
-			st.TailCalls += TCE(f)
+	}); err != nil {
+		return st, err
+	}
+	if cfg.UnrollFactor >= 2 {
+		if err := r.run(unrollPass, func() {
+			for _, f := range p.Functions() {
+				params := UnrollParams{Factor: cfg.UnrollFactor, MaxBodyInstrs: 10}
+				if prof != nil {
+					params.HotWeight = hotLoopThreshold(f)
+					params.MaxBodyInstrs = 24
+				}
+				st.Unrolled += Unroll(f, params)
+			}
+		}); err != nil {
+			return st, err
+		}
+	}
+	if err := r.run(ifConvertPass, func() {
+		for _, f := range p.Functions() {
+			ic := IfConvert(f, cfg.Barrier, 3)
+			st.IfConverts += ic.Converted
+			st.IfConvertBlocked += ic.Blocked
+		}
+	}); err != nil {
+		return st, err
+	}
+	if err := r.run(simplifyPass, func() {
+		for _, f := range p.Functions() {
+			sr := SimplifyCFG(f, true, cfg.Barrier)
+			st.CFGMerged += sr.Merged
+			st.CFGEmptyRemoved += sr.EmptyRemoved
+			st.TailMerges += sr.TailMerges
+			st.TailMergeBlocked += sr.TailMergeBlocked
+		}
+	}); err != nil {
+		return st, err
+	}
+	if err := r.run(dcePass, func() {
+		for _, f := range p.Functions() {
+			st.DCERemoved += DCE(f)
+		}
+	}); err != nil {
+		return st, err
+	}
+	if cfg.EnableTCE {
+		if err := r.run(tcePass, func() {
+			for _, f := range p.Functions() {
+				st.TailCalls += TCE(f)
+			}
+		}); err != nil {
+			return st, err
 		}
 	}
 
 	if prof != nil {
 		if cfg.Inference {
-			inference.InferProgram(p)
+			if err := r.run(inferencePass, func() {
+				inference.InferProgram(p)
+			}); err != nil {
+				return st, err
+			}
 		}
 		if cfg.Layout {
-			st.LayoutFuncs = LayoutProgram(p)
+			if err := r.run(layoutPass, func() {
+				st.LayoutFuncs = LayoutProgram(p)
+			}); err != nil {
+				return st, err
+			}
 		}
 		if cfg.Split {
-			st.SplitBlocks = SplitProgram(p)
+			if err := r.run(splitPass, func() {
+				st.SplitBlocks = SplitProgram(p)
+			}); err != nil {
+				return st, err
+			}
 		}
 	}
 
-	for _, f := range p.Functions() {
-		f.RemoveUnreachable()
+	if err := r.run(unreachablePass, func() {
+		for _, f := range p.Functions() {
+			f.RemoveUnreachable()
+		}
+	}); err != nil {
+		return st, err
 	}
-	DropDeadFunctions(p)
+	if err := r.run(deadFuncPass, func() {
+		DropDeadFunctions(p)
+	}); err != nil {
+		return st, err
+	}
 	if err := p.Verify(); err != nil {
 		return st, err
 	}

@@ -1,0 +1,59 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// flowEffect says what a pass does to profile flow consistency — the
+// property inference establishes and the analysis suite's Kirchhoff check
+// validates. Checked pipeline mode only runs the flow check while a
+// restoring pass's guarantee is still in force.
+type flowEffect uint8
+
+const (
+	// flowPerturbs: the pass rewrites the CFG or weights without keeping
+	// edge flows conserved (inliners, SimplifyCFG, unroll, ...).
+	flowPerturbs flowEffect = iota
+	// flowPreserves: the pass leaves block and edge weights conserved if
+	// they already were (layout, splitting, DCE, TCE, cleanup).
+	flowPreserves
+	// flowRestores: the pass re-establishes flow consistency (inference).
+	flowRestores
+)
+
+// PassID names a registered optimization pass. Every pass entry point
+// registers itself once; pipeline and checked mode refer to passes only
+// through their registration, which is what makes violation attribution
+// ("pass X broke function Y") possible.
+type PassID struct {
+	name string
+	flow flowEffect
+}
+
+// Name returns the registered pass name.
+func (p PassID) Name() string { return p.name }
+
+var passRegistry = map[string]PassID{}
+
+// registerPass records a pass name at init time. Duplicate names are a
+// programming error: attribution would be ambiguous.
+func registerPass(name string, fe flowEffect) PassID {
+	if _, dup := passRegistry[name]; dup {
+		panic(fmt.Sprintf("opt: duplicate pass registration %q", name))
+	}
+	id := PassID{name: name, flow: fe}
+	passRegistry[name] = id
+	return id
+}
+
+// PassNames lists every registered pass in sorted order (for documentation
+// and CLI help).
+func PassNames() []string {
+	names := make([]string, 0, len(passRegistry))
+	for n := range passRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

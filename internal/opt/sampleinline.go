@@ -18,6 +18,9 @@ import (
 //
 // Returns the number of call sites inlined; stale-context rejections are
 // counted into st (which may be nil).
+// sampleInlinePass rewrites caller CFGs from context profiles.
+var sampleInlinePass = registerPass("sample-inline", flowPerturbs)
+
 func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
 	if !prof.CS || len(prof.Contexts) == 0 {
 		return 0

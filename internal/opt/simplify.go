@@ -16,6 +16,10 @@ type SimplifyResult struct {
 // controls whether probes block tail merging: with BarrierWeak or
 // BarrierStrong, blocks whose tails differ only by probe identity do not
 // merge (the probes' distinct signatures preserve original control flow).
+// simplifyPass merges chains and removes empty blocks, folding weights in
+// ways that do not keep edge flows conserved.
+var simplifyPass = registerPass("simplify-cfg", flowPerturbs)
+
 func SimplifyCFG(f *ir.Function, tailMerge bool, barrier BarrierStrength) SimplifyResult {
 	var res SimplifyResult
 	for {

@@ -36,6 +36,9 @@ func Split(f *ir.Function) int {
 }
 
 // SplitProgram splits every function; returns total blocks marked cold.
+// splitPass only re-sections and reorders blocks; weights are untouched.
+var splitPass = registerPass("split", flowPreserves)
+
 func SplitProgram(p *ir.Program) int {
 	n := 0
 	for _, f := range p.Functions() {

@@ -7,6 +7,9 @@ import "csspgo/internal/ir"
 // optimization that breaks frame-pointer stack sampling (the returning
 // function's caller frame disappears), exercising the profiler's
 // missing-frame inferrer. Returns the number of calls marked.
+// tcePass only flags calls as tail calls; the CFG is untouched.
+var tcePass = registerPass("tce", flowPreserves)
+
 func TCE(f *ir.Function) int {
 	marked := 0
 	for _, b := range f.Blocks {

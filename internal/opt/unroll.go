@@ -24,6 +24,9 @@ type UnrollParams struct {
 // weights are divided by Factor to maintain the profile.
 //
 // Returns the number of loops unrolled.
+// unrollPass replicates loop bodies and rescales weights heuristically.
+var unrollPass = registerPass("unroll", flowPerturbs)
+
 func Unroll(f *ir.Function, p UnrollParams) int {
 	if p.Factor < 2 {
 		return 0

@@ -53,6 +53,11 @@ type BuildConfig struct {
 	DisableInference bool
 	// DisableICP turns off indirect-call promotion (ablations).
 	DisableICP bool
+	// VerifyEach enables the checked pipeline mode: after every optimization
+	// pass, the structural verifier and the analysis suite run and the first
+	// violation aborts the build with an *opt.PassViolation attributing the
+	// offending pass.
+	VerifyEach bool
 }
 
 // BuildResult bundles a compilation's artifacts.
@@ -85,6 +90,7 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 		EnableTCE:             true,
 		Layout:                cfg.Profile != nil,
 		Split:                 cfg.Profile != nil,
+		VerifyEach:            cfg.VerifyEach,
 	}
 	switch {
 	case cfg.Instrument:

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"strings"
 	"testing"
 
 	"csspgo/internal/ir"
@@ -155,5 +156,33 @@ func TestVerifyCatchesMissingBlockProbe(t *testing.T) {
 	f.Blocks[1].Instrs = f.Blocks[1].Instrs[1:] // drop leading probe
 	if err := Verify(f); err == nil {
 		t.Fatal("verify should notice the dropped block probe")
+	}
+}
+
+func TestVerifyRejectsDuplicateProbeIDs(t *testing.T) {
+	p := lower(t, src)
+	InsertProgram(p)
+	f := p.Funcs["main"]
+	// Give the second block's probe the first block's ID — the shape a buggy
+	// duplication pass would produce.
+	BlockProbe(f.Blocks[1]).ID = BlockProbe(f.Blocks[0]).ID
+	err := Verify(f)
+	if err == nil || !strings.Contains(err.Error(), "duplicate probe id") {
+		t.Fatalf("want duplicate-probe error, got %v", err)
+	}
+}
+
+func TestVerifyAllowsRepeatedInlinedIDs(t *testing.T) {
+	p := lower(t, src)
+	InsertProgram(p)
+	f := p.Funcs["main"]
+	// An inlined copy of another function's probe may repeat IDs already
+	// used by the host: only the host's own ID space must stay unique.
+	bp := BlockProbe(f.Blocks[1])
+	bp.Func = "helper"
+	bp.ID = BlockProbe(f.Blocks[0]).ID
+	bp.InlinedAt = &ir.ProbeSite{Func: "main", CallID: 2}
+	if err := Verify(f); err != nil {
+		t.Fatalf("inlined probe with repeated id rejected: %v", err)
 	}
 }

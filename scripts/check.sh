@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, vet, build, tests, and the csspgo
+# linter over every example module. Run via `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== csspgo lint (examples)"
+go build -o bin/csspgo ./cmd/csspgo
+for f in examples/*/*.ml; do
+	out=$(bin/csspgo lint "$f")
+	echo "$f: $(echo "$out" | tail -n 1)"
+done
+
+echo "check: OK"
