@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test bench check
+.PHONY: build test race bench check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race lane: the packages exercising the sharded profile-generation worker
+# pool under the race detector.
+race:
+	$(GO) test -race ./internal/sampling ./internal/pgo
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -19,9 +19,11 @@ package csspgo
 // pre-inliner).
 
 import (
+	"fmt"
 	"testing"
 
 	"csspgo/internal/inference"
+	"csspgo/internal/machine"
 	"csspgo/internal/pgo"
 	"csspgo/internal/sampling"
 	"csspgo/internal/sim"
@@ -244,6 +246,49 @@ func BenchmarkUnwinder(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(samples)), "samples/op")
+}
+
+// BenchmarkParallelProfileGeneration measures the sharded worker pool on the
+// Fig. 6 server corpus: the same sample streams unwound serially and with 2
+// and 4 workers. Output profiles are byte-identical across the variants (the
+// equivalence tests pin that); this benchmark only trades cores for
+// wall-clock.
+func BenchmarkParallelProfileGeneration(b *testing.B) {
+	type corpus struct {
+		bin     *machine.Prog
+		samples []sim.Sample
+	}
+	var corpora []corpus
+	for _, name := range workloads.ServerNames() {
+		w, err := workloads.Load(name, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pgo.Build(w.Files, pgo.BuildConfig{Probes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples, _, err := pgo.CollectSamples(res.Bin, w.Train, pgo.DefaultProfileConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpora = append(corpora, corpus{res.Bin, samples})
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := sampling.DefaultCSSPGOOptions()
+			opts.Workers = workers
+			var samples int
+			for i := 0; i < b.N; i++ {
+				samples = 0
+				for _, c := range corpora {
+					_, stats := sampling.GenerateCSSPGO(c.bin, c.samples, opts)
+					samples += stats.Samples
+				}
+			}
+			b.ReportMetric(float64(samples), "samples/op")
+		})
+	}
 }
 
 // BenchmarkInference measures the MCF profile-inference pass.

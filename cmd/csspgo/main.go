@@ -7,7 +7,7 @@
 //
 //	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] src.ml...
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
-//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797]
+//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-json] src.ml...
@@ -237,6 +237,7 @@ func cmdProfile(args []string) error {
 	bound := fs.Int64("bound", 1000, "request magnitude bound")
 	period := fs.Uint64("period", 797, "sampling period (taken branches)")
 	pebs := fs.Bool("pebs", true, "precise sampling (synchronized stacks)")
+	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical for any value)")
 	_ = fs.Parse(args)
 
 	bin, err := loadBin(*binPath)
@@ -268,13 +269,15 @@ func cmdProfile(args []string) error {
 		}
 		switch *kind {
 		case "cs":
-			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), sampling.DefaultCSSPGOOptions())
+			opts := sampling.DefaultCSSPGOOptions()
+			opts.Workers = *workers
+			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
 			prof = p
 			fmt.Printf("unwinder: %+v\n", stats)
 		case "probe":
-			prof = sampling.GenerateProbeProfile(bin, m.Samples())
+			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{Workers: *workers})
 		case "autofdo":
-			prof = sampling.GenerateAutoFDO(bin, m.Samples())
+			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{Workers: *workers})
 		default:
 			return fmt.Errorf("unknown profile kind %q", *kind)
 		}

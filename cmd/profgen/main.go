@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	profgen -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200] [-seed 1] [-bound 1000] [-period 797] [-pebs=true]
+//	profgen -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200] [-seed 1] [-bound 1000] [-period 797] [-pebs=true] [-workers N]
 package main
 
 import (
@@ -30,15 +30,16 @@ func main() {
 	pebs := flag.Bool("pebs", true, "precise sampling (synchronized stacks)")
 	notails := flag.Bool("no-tailcall-inference", false, "disable the missing-frame inferrer")
 	binaryOut := flag.Bool("binary", false, "write the compact binary profile format")
+	workers := flag.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*binPath, *out, *kind, *n, *seed, *bound, *period, *pebs, *notails, *binaryOut); err != nil {
+	if err := run(*binPath, *out, *kind, *n, *seed, *bound, *period, *pebs, *notails, *binaryOut, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "profgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(binPath, out, kind string, n int, seed, bound int64, period uint64, pebs, noTails, binaryOut bool) error {
+func run(binPath, out, kind string, n int, seed, bound int64, period uint64, pebs, noTails, binaryOut bool, workers int) error {
 	f, err := os.Open(binPath)
 	if err != nil {
 		return err
@@ -85,13 +86,14 @@ func run(binPath, out, kind string, n int, seed, bound int64, period uint64, peb
 		case "cs":
 			opts := sampling.DefaultCSSPGOOptions()
 			opts.TailCallInference = !noTails
+			opts.Workers = workers
 			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
 			prof = p
 			fmt.Printf("unwinder: %+v\n", stats)
 		case "probe":
-			prof = sampling.GenerateProbeProfile(bin, m.Samples())
+			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{Workers: workers})
 		case "autofdo":
-			prof = sampling.GenerateAutoFDO(bin, m.Samples())
+			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{Workers: workers})
 		default:
 			return fmt.Errorf("unknown profile kind %q", kind)
 		}

@@ -124,16 +124,29 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 	return &BuildResult{Bin: bin, IR: prog, FreshIR: fresh, Stats: stats}, nil
 }
 
-// ProfileConfig controls profile collection on a training binary.
+// ProfileConfig controls profile collection on a training binary and the
+// generation of profiles from the collected samples.
 type ProfileConfig struct {
 	Period uint64 // sampling period in retired taken branches
 	PEBS   bool
 	Stacks bool // synchronized stack sampling (CSSPGO)
+	// Workers sizes the profile-generation worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Serial and parallel generation produce byte-identical
+	// profiles; this only trades wall-clock for cores.
+	Workers int
 }
 
 // DefaultProfileConfig returns production-like sampling settings.
 func DefaultProfileConfig() ProfileConfig {
 	return ProfileConfig{Period: 797, PEBS: true, Stacks: true}
+}
+
+// csspgoOptions derives the CS profile-generation options from a profile
+// config (experiment drivers thread their worker count through here).
+func csspgoOptions(pc ProfileConfig) sampling.CSSPGOOptions {
+	opts := sampling.DefaultCSSPGOOptions()
+	opts.Workers = pc.Workers
+	return opts
 }
 
 // CollectSamples runs the request stream on the binary under the PMU and
@@ -209,7 +222,7 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 		if err != nil {
 			return nil, nil, err
 		}
-		prof := sampling.GenerateAutoFDO(base.Bin, samples)
+		prof := sampling.GenerateAutoFDOOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
 		res, err := Build(files, BuildConfig{Probes: false, Profile: prof})
 		return res, prof, err
 
@@ -224,7 +237,7 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 		if err != nil {
 			return nil, nil, err
 		}
-		prof := sampling.GenerateProbeProfile(base.Bin, samples)
+		prof := sampling.GenerateProbeProfileOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
 		res, err := Build(files, BuildConfig{Probes: true, Profile: prof})
 		return res, prof, err
 
@@ -233,11 +246,12 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 		if err != nil {
 			return nil, nil, err
 		}
-		samples, _, err := CollectSamples(base.Bin, train, DefaultProfileConfig())
+		pc := DefaultProfileConfig()
+		samples, _, err := CollectSamples(base.Bin, train, pc)
 		if err != nil {
 			return nil, nil, err
 		}
-		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.DefaultCSSPGOOptions())
+		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
 		// Cold-context trimming keeps the CS profile comparable in size to
 		// a regular profile (§III.B), then the pre-inliner makes global
 		// top-down decisions with binary-extracted sizes (Algorithms 2+3).
@@ -282,7 +296,7 @@ func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*pr
 		if err != nil {
 			return nil, err
 		}
-		return sampling.GenerateAutoFDO(base.Bin, samples), nil
+		return sampling.GenerateAutoFDOOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers}), nil
 	case ProbeOnly:
 		pc := DefaultProfileConfig()
 		pc.Stacks = false
@@ -290,13 +304,14 @@ func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*pr
 		if err != nil {
 			return nil, err
 		}
-		return sampling.GenerateProbeProfile(base.Bin, samples), nil
+		return sampling.GenerateProbeProfileOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers}), nil
 	case FullCS:
-		samples, _, err := CollectSamples(base.Bin, train, DefaultProfileConfig())
+		pc := DefaultProfileConfig()
+		samples, _, err := CollectSamples(base.Bin, train, pc)
 		if err != nil {
 			return nil, err
 		}
-		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.DefaultCSSPGOOptions())
+		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
 		prof.TrimColdContexts(trimThreshold(prof))
 		sizes := preinline.ExtractSizes(base.Bin)
 		preinline.Run(prof, sizes, preinline.DeriveParams(prof))

@@ -327,8 +327,8 @@ func RunTable1(scale int) (*Table1Result, error) {
 		return nil, err
 	}
 
-	autofdoProf := sampling.GenerateAutoFDO(plain.Bin, lbrSamples)
-	csProf, _ := sampling.GenerateCSSPGO(probed.Bin, csSamples, sampling.DefaultCSSPGOOptions())
+	autofdoProf := sampling.GenerateAutoFDOOpts(plain.Bin, lbrSamples, sampling.FlatOptions{Workers: pc.Workers})
+	csProf, _ := sampling.GenerateCSSPGO(probed.Bin, csSamples, csspgoOptions(pc))
 	gt := sampling.GenerateInstrProfile(instr.Bin, counters)
 
 	common := probed.FreshIR
@@ -442,7 +442,7 @@ func RunDrift(scale int) (*DriftResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	lineProf := sampling.GenerateAutoFDO(base.Bin, samples)
+	lineProf := sampling.GenerateAutoFDOOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
 
 	baseStats, err := Evaluate(base.Bin, w.Eval)
 	if err != nil {
@@ -492,11 +492,12 @@ func RunDrift(scale int) (*DriftResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	csSamples, _, err := CollectSamples(pbase.Bin, w.Train, DefaultProfileConfig())
+	csPC := DefaultProfileConfig()
+	csSamples, _, err := CollectSamples(pbase.Bin, w.Train, csPC)
 	if err != nil {
 		return nil, err
 	}
-	csProf, _ := sampling.GenerateCSSPGO(pbase.Bin, csSamples, sampling.DefaultCSSPGOOptions())
+	csProf, _ := sampling.GenerateCSSPGO(pbase.Bin, csSamples, csspgoOptions(csPC))
 	csProf.TrimColdContexts(trimThreshold(csProf))
 	sizes := preinline.ExtractSizes(pbase.Bin)
 	preinline.Run(csProf, sizes, preinline.DeriveParams(csProf))
@@ -785,12 +786,13 @@ func RunTrim(scale int) (*TrimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	samples, _, err := CollectSamples(base.Bin, w.Train, DefaultProfileConfig())
+	pc := DefaultProfileConfig()
+	samples, _, err := CollectSamples(base.Bin, w.Train, pc)
 	if err != nil {
 		return nil, err
 	}
-	flat := sampling.GenerateProbeProfile(base.Bin, samples)
-	cs, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.CSSPGOOptions{TailCallInference: true, MaxContextDepth: 10})
+	flat := sampling.GenerateProbeProfileOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
+	cs, _ := sampling.GenerateCSSPGO(base.Bin, samples, sampling.CSSPGOOptions{TailCallInference: true, MaxContextDepth: 10, Workers: pc.Workers})
 
 	res := &TrimResult{
 		FlatBytes:      flat.SizeBytes(),
@@ -843,11 +845,12 @@ func RunTailCall(scale int) (*TailCallResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	samples, _, err := CollectSamples(base.Bin, w.Train, DefaultProfileConfig())
+	pc := DefaultProfileConfig()
+	samples, _, err := CollectSamples(base.Bin, w.Train, pc)
 	if err != nil {
 		return nil, err
 	}
-	_, stats := sampling.GenerateCSSPGO(base.Bin, samples, sampling.DefaultCSSPGOOptions())
+	_, stats := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
 	res := &TailCallResult{
 		MissingFrameEvents: stats.MissingFrameEvents,
 		EventsRecovered:    stats.EventsRecovered,

@@ -92,6 +92,23 @@ func (p *Profile) Clone() *Profile {
 	return out
 }
 
+// MergeShards deterministically reduces per-worker profile shards into one
+// profile by folding them in shard-index order. Every count is a sum and
+// the text/binary encoders iterate maps in sorted order, so the merged
+// profile serializes byte-identically for any shard count — including the
+// single-shard (serial) case. The first shard is reused as the
+// accumulator; returns nil for an empty shard list.
+func MergeShards(shards []*Profile) *Profile {
+	if len(shards) == 0 {
+		return nil
+	}
+	dst := shards[0]
+	for _, src := range shards[1:] {
+		MergeProfiles(dst, src)
+	}
+	return dst
+}
+
 // MergeProfiles accumulates src into dst (profiles from multiple profiling
 // shards of the same binary).
 func MergeProfiles(dst, src *Profile) {

@@ -19,6 +19,12 @@ type CSSPGOOptions struct {
 	// PEBS). Exists for the PEBS ablation — without PEBS it corrupts
 	// contexts exactly the way the paper warns about.
 	AssumeAligned bool
+	// Workers sizes the sample-sharding worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Each worker unwinds a contiguous sample shard with its
+	// own Unwinder and private profile shard; shards merge with a
+	// deterministic sum reduction, so every worker count yields a
+	// byte-identical serialized profile.
+	Workers int
 }
 
 // DefaultCSSPGOOptions returns the production defaults.
@@ -35,25 +41,69 @@ func DefaultCSSPGOOptions() CSSPGOOptions {
 func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions) (*profdata.Profile, UnwindStats) {
 	var tails *TailCallGraph
 	if opts.TailCallInference {
+		// Built once over the full stream and shared read-only by every
+		// worker (InferPath keeps all search state on its own stack).
 		tails = BuildTailCallGraph(bin, samples)
 	}
+
+	shards := sampleShards(samples, resolveWorkers(opts.Workers, len(samples)))
+	parts := make([]*profdata.Profile, len(shards))
+	stats := make([]UnwindStats, len(shards))
+	forEachShard(shards, func(i int, shard []sim.Sample) {
+		parts[i], stats[i] = unwindShard(bin, shard, tails, opts)
+	})
+
+	p := profdata.MergeShards(parts)
+	if p == nil {
+		p = profdata.New(profdata.ProbeBased, true)
+	}
+	var st UnwindStats
+	for _, s := range stats {
+		st.Add(s)
+	}
+
+	// Indirect-call target histograms (sampled value profiles) are
+	// context-insensitive: they land in the base profiles, where the ICP
+	// pass consumes them via the flattened view.
+	attributeICallTargets(bin, samples, opts.Workers, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
+		return p.FuncProfile(rec.Func)
+	})
+	finalizeProbeProfile(bin, p)
+	return p, st
+}
+
+// unwindShard runs the per-sample attribution loop of GenerateCSSPGO over
+// one sample shard with a private Unwinder and profile shard.
+func unwindShard(bin *machine.Prog, shard []sim.Sample, tails *TailCallGraph, opts CSSPGOOptions) (*profdata.Profile, UnwindStats) {
 	u := NewUnwinder(bin, tails)
 	u.AssumeAligned = opts.AssumeAligned
 	p := profdata.New(profdata.ProbeBased, true)
 
-	for _, s := range samples {
+	for _, s := range shard {
 		for _, cr := range u.Unwind(s) {
 			leafFn := bin.FuncAt(cr.R.Begin)
 			if leafFn == nil {
 				continue
 			}
-			callerCtx := u.ContextOf(cr.Callers, leafFn.Name, profdata.ProbeBased)
+			var callerCtx profdata.Context
+			if !cr.Truncated {
+				callerCtx = u.ContextOf(cr.Callers, leafFn.Name, profdata.ProbeBased)
+			}
 			lo, hi := bin.InstrsIn(cr.R.Begin, cr.R.End)
 			for i := lo; i < hi; i++ {
 				addr := bin.Instrs[i].Addr
 				for _, rec := range bin.ProbesAt(addr) {
-					ctx := contextForProbe(callerCtx, &rec, opts.MaxContextDepth)
-					fp := p.ContextProfile(ctx)
+					var fp *profdata.FunctionProfile
+					if cr.Truncated {
+						// Outer context unknown: attributing under the
+						// partially-recovered callers would mint a false
+						// shallow context, so the counts fall back to the
+						// context-insensitive base profile.
+						fp = p.FuncProfile(rec.Func)
+					} else {
+						ctx := contextForProbe(callerCtx, &rec, opts.MaxContextDepth)
+						fp = p.ContextProfile(ctx)
+					}
 					w := uint64(rec.Factor + 0.5)
 					if rec.Factor > 0 && rec.Factor < 1 {
 						// Fractional factors accumulate probabilistically;
@@ -77,13 +127,6 @@ func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions)
 			}
 		}
 	}
-	// Indirect-call target histograms (sampled value profiles) are
-	// context-insensitive: they land in the base profiles, where the ICP
-	// pass consumes them via the flattened view.
-	attributeICallTargets(bin, samples, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
-		return p.FuncProfile(rec.Func)
-	})
-	finalizeProbeProfile(bin, p)
 	return p, u.Stats
 }
 

@@ -128,7 +128,7 @@ func odd(x) { return x * 3; }
 `
 	bin := build(t, src, true)
 	samples := profileRun(t, bin, sim.DefaultPMUConfig(8), 20, 400)
-	targets := icallTargets(bin, samples)
+	targets := icallTargets(bin, samples, 1)
 	if len(targets) == 0 {
 		t.Fatal("no icall targets recorded")
 	}

@@ -7,6 +7,26 @@ import (
 	"csspgo/internal/sim"
 )
 
+// FlatOptions configures flat (context-insensitive) profile generation.
+type FlatOptions struct {
+	// Workers sizes the sample-sharding worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Any worker count produces a byte-identical profile.
+	Workers int
+}
+
+// lineLoc keys a debug frame by its line offset from the function's start
+// line. Inlined frames can carry lines that precede the surrounding
+// function's start line (the inlined callee's body keeps its own source
+// lines); a raw subtraction would go negative and corrupt the offset key
+// space, so such frames are attributed to the function entry (offset 0).
+func lineLoc(fr machine.Frame, fn *machine.Func) profdata.LocKey {
+	off := fr.Line - fn.StartLine
+	if off < 0 {
+		off = 0
+	}
+	return profdata.LocKey{ID: off, Disc: fr.Disc}
+}
+
 // GenerateAutoFDO builds a context-insensitive, line-keyed profile from LBR
 // samples using debug-info correlation — the state-of-the-art sampling PGO
 // baseline. Body locations are (line offset from function start,
@@ -15,18 +35,18 @@ import (
 // heuristic the paper explains is right for motion into colder regions but
 // wrong for duplication, where counts should be summed (§III.A).
 func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile {
-	ac := NewAddrCounter(bin)
-	for _, s := range samples {
-		for _, r := range LBRRanges(bin, s.LBR) {
-			ac.AddRange(r, 1)
-		}
-	}
+	return GenerateAutoFDOOpts(bin, samples, FlatOptions{})
+}
+
+// GenerateAutoFDOOpts is GenerateAutoFDO with an explicit worker count.
+func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+	ac := addrCounts(bin, samples, opts.Workers)
 	p := profdata.New(profdata.LineBased, false)
 
 	// Indirect-call targets come from the LBR records themselves (a call
 	// branch's To names the callee) — the sampled analogue of value
 	// profiling, with sampling's coverage limits.
-	for site, targets := range icallTargets(bin, samples) {
+	for site, targets := range icallTargets(bin, samples, opts.Workers) {
 		frames := bin.InlinedFramesAt(site)
 		if len(frames) == 0 {
 			continue
@@ -35,7 +55,7 @@ func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile 
 		if fn == nil {
 			continue
 		}
-		loc := profdata.LocKey{ID: frames[0].Line - fn.StartLine, Disc: frames[0].Disc}
+		loc := lineLoc(frames[0], fn)
 		fp := p.FuncProfile(frames[0].Func)
 		for callee, n := range targets {
 			fp.AddCall(loc, callee, n)
@@ -55,7 +75,7 @@ func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile 
 		if fn == nil {
 			continue
 		}
-		loc := profdata.LocKey{ID: leaf.Line - fn.StartLine, Disc: leaf.Disc}
+		loc := lineLoc(leaf, fn)
 		fp := p.FuncProfile(leaf.Func)
 		if cur := fp.BodyAt(loc); count > cur {
 			fp.TotalSamples += count - cur
@@ -88,52 +108,28 @@ func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile 
 // correlation advantage probes have over debug info. Function CFG checksums
 // from the profiled binary are recorded so stale profiles are detectable.
 func GenerateProbeProfile(bin *machine.Prog, samples []sim.Sample) *profdata.Profile {
-	ac := NewAddrCounter(bin)
-	for _, s := range samples {
-		for _, r := range LBRRanges(bin, s.LBR) {
-			ac.AddRange(r, 1)
-		}
-	}
+	return GenerateProbeProfileOpts(bin, samples, FlatOptions{})
+}
+
+// GenerateProbeProfileOpts is GenerateProbeProfile with an explicit worker
+// count.
+func GenerateProbeProfileOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+	ac := addrCounts(bin, samples, opts.Workers)
 	p := profdata.New(profdata.ProbeBased, false)
 	attributeProbes(bin, ac, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
-	attributeICallTargets(bin, samples, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
+	attributeICallTargets(bin, samples, opts.Workers, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
 	finalizeProbeProfile(bin, p)
 	return p
 }
 
-// icallTargets aggregates LBR call branches out of indirect-call sites:
-// site address -> callee name -> count.
-func icallTargets(bin *machine.Prog, samples []sim.Sample) map[uint64]map[string]uint64 {
-	out := map[uint64]map[string]uint64{}
-	for _, s := range samples {
-		for _, br := range s.LBR {
-			in := bin.InstrAt(br.From)
-			if in == nil || in.Kind != machine.KICall {
-				continue
-			}
-			callee := bin.FuncAt(br.To)
-			if callee == nil {
-				continue
-			}
-			m := out[br.From]
-			if m == nil {
-				m = map[string]uint64{}
-				out[br.From] = m
-			}
-			m[callee.Name]++
-		}
-	}
-	return out
-}
-
 // attributeICallTargets adds sampled indirect-call target counts under the
 // call probes anchored at each site.
-func attributeICallTargets(bin *machine.Prog, samples []sim.Sample, pick func(*machine.ProbeRec) *profdata.FunctionProfile) {
-	for site, targets := range icallTargets(bin, samples) {
+func attributeICallTargets(bin *machine.Prog, samples []sim.Sample, workers int, pick func(*machine.ProbeRec) *profdata.FunctionProfile) {
+	for site, targets := range icallTargets(bin, samples, workers) {
 		for _, rec := range bin.ProbesAt(site) {
 			if rec.Kind != ir.ProbeCall {
 				continue

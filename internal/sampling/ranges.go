@@ -72,6 +72,14 @@ func (c *AddrCounter) AddRange(r Range, w uint64) {
 	}
 }
 
+// Merge sums another counter's counts into c (shard reduction; both
+// counters must be over the same binary).
+func (c *AddrCounter) Merge(o *AddrCounter) {
+	for addr, n := range o.counts {
+		c.counts[addr] += n
+	}
+}
+
 // Count returns the accumulated count at addr.
 func (c *AddrCounter) Count(addr uint64) uint64 { return c.counts[addr] }
 

@@ -1,0 +1,162 @@
+package sampling
+
+// Parallel sharded profile generation. Profile generation is embarrassingly
+// parallel per sample: the sample stream is split into contiguous shards,
+// each shard is processed by one worker holding its own Unwinder (the
+// context cache is not safe for concurrent use) and its own private profile
+// shard, and the shards are folded together with a deterministic reduction.
+// Every count in every shard is a sum, and serialization iterates maps in
+// sorted order, so the merged profile is byte-identical to a serial run for
+// any worker count — a property `make check`'s race lane and the
+// serial-vs-parallel equivalence tests enforce.
+
+import (
+	"runtime"
+	"sync"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/sim"
+)
+
+// resolveWorkers maps a requested worker count (0 = GOMAXPROCS) to an
+// effective one, never exceeding the number of items to shard.
+func resolveWorkers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sampleShards splits samples into at most n contiguous, non-overlapping
+// shards covering the whole slice. Shard boundaries depend only on
+// (len(samples), n), never on scheduling.
+func sampleShards(samples []sim.Sample, n int) [][]sim.Sample {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(samples) {
+		n = len(samples)
+	}
+	if n <= 1 {
+		if len(samples) == 0 {
+			return nil
+		}
+		return [][]sim.Sample{samples}
+	}
+	out := make([][]sim.Sample, 0, n)
+	per := len(samples) / n
+	rem := len(samples) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + per
+		if i < rem {
+			end++
+		}
+		out = append(out, samples[start:end])
+		start = end
+	}
+	return out
+}
+
+// forEachShard runs fn over every shard on its own goroutine and waits for
+// all of them. fn receives the shard index so results can be stored into
+// per-shard slots and reduced in deterministic shard order afterwards.
+func forEachShard(shards [][]sim.Sample, fn func(i int, shard []sim.Sample)) {
+	if len(shards) == 1 {
+		fn(0, shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh []sim.Sample) {
+			defer wg.Done()
+			fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// addrCounts accumulates per-address execution counts from every sample's
+// LBR ranges across a worker pool: one private AddrCounter per shard,
+// summed in shard order. Addition is commutative, so the result is
+// independent of the worker count.
+func addrCounts(bin *machine.Prog, samples []sim.Sample, workers int) *AddrCounter {
+	shards := sampleShards(samples, resolveWorkers(workers, len(samples)))
+	if len(shards) == 0 {
+		return NewAddrCounter(bin)
+	}
+	parts := make([]*AddrCounter, len(shards))
+	forEachShard(shards, func(i int, shard []sim.Sample) {
+		ac := NewAddrCounter(bin)
+		for _, s := range shard {
+			for _, r := range LBRRanges(bin, s.LBR) {
+				ac.AddRange(r, 1)
+			}
+		}
+		parts[i] = ac
+	})
+	ac := parts[0]
+	for _, part := range parts[1:] {
+		ac.Merge(part)
+	}
+	return ac
+}
+
+// icallTargets aggregates LBR call branches out of indirect-call sites
+// (site address -> callee name -> count) across a worker pool, with the
+// same sharded sum reduction as addrCounts.
+func icallTargets(bin *machine.Prog, samples []sim.Sample, workers int) map[uint64]map[string]uint64 {
+	shards := sampleShards(samples, resolveWorkers(workers, len(samples)))
+	if len(shards) == 0 {
+		return map[uint64]map[string]uint64{}
+	}
+	parts := make([]map[uint64]map[string]uint64, len(shards))
+	forEachShard(shards, func(i int, shard []sim.Sample) {
+		parts[i] = icallTargetsSerial(bin, shard)
+	})
+	out := parts[0]
+	for _, part := range parts[1:] {
+		for site, targets := range part {
+			m := out[site]
+			if m == nil {
+				out[site] = targets
+				continue
+			}
+			for callee, n := range targets {
+				m[callee] += n
+			}
+		}
+	}
+	return out
+}
+
+func icallTargetsSerial(bin *machine.Prog, samples []sim.Sample) map[uint64]map[string]uint64 {
+	out := map[uint64]map[string]uint64{}
+	for _, s := range samples {
+		for _, br := range s.LBR {
+			in := bin.InstrAt(br.From)
+			if in == nil || in.Kind != machine.KICall {
+				continue
+			}
+			callee := bin.FuncAt(br.To)
+			if callee == nil {
+				continue
+			}
+			m := out[br.From]
+			if m == nil {
+				m = map[string]uint64{}
+				out[br.From] = m
+			}
+			m[callee.Name]++
+		}
+	}
+	return out
+}

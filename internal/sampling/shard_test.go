@@ -1,0 +1,385 @@
+package sampling
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+)
+
+// ------------------------------------------------- sharding infrastructure
+
+func TestSampleShardsCoverInOrder(t *testing.T) {
+	mk := func(n int) []sim.Sample {
+		out := make([]sim.Sample, n)
+		for i := range out {
+			out[i].Stack = []uint64{uint64(i)}
+		}
+		return out
+	}
+	for _, tc := range []struct{ items, n int }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {7, 3}, {100, 8}, {5, 1},
+	} {
+		samples := mk(tc.items)
+		shards := sampleShards(samples, tc.n)
+		var got []sim.Sample
+		for _, sh := range shards {
+			got = append(got, sh...)
+		}
+		if len(got) != tc.items {
+			t.Fatalf("shards(%d,%d): covered %d items", tc.items, tc.n, len(got))
+		}
+		for i, s := range got {
+			if s.Stack[0] != uint64(i) {
+				t.Fatalf("shards(%d,%d): item %d out of order", tc.items, tc.n, i)
+			}
+		}
+		// Balanced: sizes differ by at most one.
+		min, max := tc.items, 0
+		for _, sh := range shards {
+			if len(sh) < min {
+				min = len(sh)
+			}
+			if len(sh) > max {
+				max = len(sh)
+			}
+		}
+		if len(shards) > 0 && max-min > 1 {
+			t.Fatalf("shards(%d,%d): unbalanced sizes [%d,%d]", tc.items, tc.n, min, max)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(4, 100); got != 4 {
+		t.Fatalf("explicit count ignored: %d", got)
+	}
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Fatalf("workers must clamp to item count: %d", got)
+	}
+	if got := resolveWorkers(1, 0); got != 1 {
+		t.Fatalf("floor is 1: %d", got)
+	}
+	if got := resolveWorkers(0, 1000); got < 1 {
+		t.Fatalf("GOMAXPROCS default must be positive: %d", got)
+	}
+}
+
+// ------------------------------------------------- satellite: Dropped stat
+
+func TestUnwindStatsCountAcceptedOnly(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 20, 200)
+	if len(samples) == 0 {
+		t.Skip("no samples at this scale")
+	}
+	// Interleave rejects among real samples: empty, LBR-less, stack-less.
+	mixed := []sim.Sample{{}, samples[0], {Stack: []uint64{0x1000}}}
+	mixed = append(mixed, samples[1:]...)
+	mixed = append(mixed, sim.Sample{LBR: samples[0].LBR})
+
+	u := NewUnwinder(bin, nil)
+	for _, s := range mixed {
+		u.Unwind(s)
+	}
+	if u.Stats.Samples != len(samples) {
+		t.Fatalf("Samples must count accepted only: got %d, want %d", u.Stats.Samples, len(samples))
+	}
+	if u.Stats.Dropped != 3 {
+		t.Fatalf("Dropped must count rejects: got %d, want 3", u.Stats.Dropped)
+	}
+}
+
+// ------------------------------------- satellite: truncated-stack contexts
+
+// TestTruncatedStackIsSticky is the regression test for the partial-context
+// bug: when the stack sample is shallower than the LBR history, a return
+// record later in the (reverse-order) walk re-grows the caller stack, and the
+// old unwinder emitted those partially-recovered contexts as if they were
+// complete. Truncation must be sticky for the remainder of the sample and
+// visible on every affected range.
+func TestTruncatedStackIsSticky(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 30, 300)
+
+	u := NewUnwinder(bin, nil)
+	sawTruncated := false
+	for _, s := range samples {
+		if len(s.Stack) < 2 || len(s.LBR) < 8 {
+			continue
+		}
+		// Cut the stack to the leaf frame only: the first undone call pops
+		// from an empty caller stack and every context from there back in
+		// time is missing its outer frames.
+		s.Stack = s.Stack[:1]
+		out := u.Unwind(s)
+		seen := false
+		for _, cr := range out {
+			if cr.Truncated {
+				seen = true
+				sawTruncated = true
+			} else if seen {
+				t.Fatalf("truncation not sticky: complete range after truncated one")
+			}
+		}
+	}
+	if !sawTruncated {
+		t.Skip("no sample deep enough to exhaust a leaf-only stack")
+	}
+	if u.Stats.TruncatedRanges == 0 {
+		t.Fatal("TruncatedRanges stat not bumped")
+	}
+}
+
+// Truncated ranges must fall back to the context-insensitive base profile
+// rather than minting false shallow contexts.
+func TestTruncatedSamplesDoNotMintContexts(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 30, 300)
+	var cut []sim.Sample
+	for _, s := range samples {
+		if len(s.Stack) >= 2 && len(s.LBR) >= 8 {
+			s.Stack = s.Stack[:1]
+			cut = append(cut, s)
+		}
+	}
+	if len(cut) == 0 {
+		t.Skip("no deep samples")
+	}
+	prof, stats := GenerateCSSPGO(bin, cut, CSSPGOOptions{Workers: 1})
+	if stats.TruncatedRanges == 0 {
+		t.Skip("no truncation triggered at this scale")
+	}
+	// scalarOp's counts must not appear under a false [scalarOp]-rooted
+	// shallow context claiming to be the complete calling context; with
+	// leaf-only stacks the unwinder cannot know the callers, so the counts
+	// belong to base profiles. Contexts that do exist must come from the
+	// prefix of the walk where the caller stack was still genuine.
+	for _, key := range prof.SortedContextKeys() {
+		cp := prof.Contexts[key]
+		if cp.TotalSamples == 0 {
+			continue
+		}
+		if cp.Context.Depth() == 0 {
+			t.Fatalf("empty context minted: %q", key)
+		}
+	}
+	if len(prof.Funcs) == 0 {
+		t.Fatal("truncated counts lost entirely: no base profiles")
+	}
+}
+
+// --------------------------------------- satellite: negative line offsets
+
+func TestLineLocClampsNegativeOffset(t *testing.T) {
+	fn := &machine.Func{Name: "f", StartLine: 40}
+	// Drifted or corrupt debug info: a frame line above the function decl.
+	loc := lineLoc(machine.Frame{Func: "f", Line: 7, Disc: 2}, fn)
+	if loc.ID != 0 {
+		t.Fatalf("negative offset must clamp to 0, got %d", loc.ID)
+	}
+	if loc.Disc != 2 {
+		t.Fatalf("discriminator lost in clamp: %+v", loc)
+	}
+	loc = lineLoc(machine.Frame{Func: "f", Line: 43}, fn)
+	if loc.ID != 3 {
+		t.Fatalf("normal offset broken: got %d, want 3", loc.ID)
+	}
+}
+
+// -------------------------------------------- satellite: cache-key aliasing
+
+// TestCacheKeyInjective feeds pairs that collided under the old delimiter-free
+// encoding (address bytes ran straight into the leaf name) and requires
+// distinct keys for distinct triples.
+func TestCacheKeyInjective(t *testing.T) {
+	type triple struct {
+		callers []uint64
+		leaf    string
+		kind    profdata.Kind
+	}
+	cases := []triple{
+		{nil, "", profdata.ProbeBased},
+		{nil, "a", profdata.ProbeBased},
+		{[]uint64{'a'}, "", profdata.ProbeBased},
+		{[]uint64{'a'}, "", profdata.LineBased},
+		{nil, "a\x00\x00\x00\x00\x00\x00\x00", profdata.ProbeBased},
+		{[]uint64{0x61, 0x62}, "", profdata.ProbeBased},
+		{[]uint64{0x61}, "b\x00\x00\x00\x00\x00\x00\x00", profdata.ProbeBased},
+		{[]uint64{0x6261}, "", profdata.ProbeBased},
+		{[]uint64{1, 2}, "f", profdata.ProbeBased},
+		{[]uint64{1}, "f", profdata.ProbeBased},
+		{[]uint64{2, 1}, "f", profdata.ProbeBased},
+	}
+	seen := map[string]triple{}
+	for _, c := range cases {
+		k := cacheKey(c.callers, c.leaf, c.kind)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("cache key collision: %+v vs %+v", prev, c)
+		}
+		seen[k] = c
+	}
+}
+
+// --------------------------------- tentpole: serial/parallel equivalence
+
+// TestSerialParallelByteIdentical is the tentpole's determinism contract:
+// for every generator and every worker count, the serialized profile must be
+// byte-for-byte the profile a serial run produces.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	for _, src := range []struct {
+		name   string
+		src    string
+		probes bool
+	}{
+		{"hotcold", hotColdSrc, true},
+		{"context", contextSrc, true},
+		{"lines", contextSrc, false},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			bin := build(t, src.src, src.probes)
+			samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+			if len(samples) < 8 {
+				t.Skipf("only %d samples", len(samples))
+			}
+
+			type gen struct {
+				name string
+				run  func(workers int) *profdata.Profile
+			}
+			gens := []gen{
+				{"autofdo", func(w int) *profdata.Profile {
+					return GenerateAutoFDOOpts(bin, samples, FlatOptions{Workers: w})
+				}},
+			}
+			if src.probes {
+				gens = append(gens,
+					gen{"probe", func(w int) *profdata.Profile {
+						return GenerateProbeProfileOpts(bin, samples, FlatOptions{Workers: w})
+					}},
+					gen{"cs", func(w int) *profdata.Profile {
+						opts := DefaultCSSPGOOptions()
+						opts.Workers = w
+						p, _ := GenerateCSSPGO(bin, samples, opts)
+						return p
+					}},
+				)
+			}
+			for _, g := range gens {
+				serial := g.run(1)
+				wantText := profdata.EncodeToString(serial)
+				wantBin := profdata.EncodeBinary(serial)
+				for _, w := range []int{2, 3, 4, 8, 0} {
+					got := g.run(w)
+					if s := profdata.EncodeToString(got); s != wantText {
+						t.Fatalf("%s: workers=%d text differs from serial\nserial:\n%s\nparallel:\n%s",
+							g.name, w, wantText, s)
+					}
+					if b := profdata.EncodeBinary(got); !bytes.Equal(b, wantBin) {
+						t.Fatalf("%s: workers=%d binary encoding differs from serial", g.name, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Parallel runs must also reduce UnwindStats to the serial totals.
+func TestParallelUnwindStatsMatchSerial(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+	if len(samples) < 8 {
+		t.Skipf("only %d samples", len(samples))
+	}
+	opts := DefaultCSSPGOOptions()
+	opts.Workers = 1
+	_, serial := GenerateCSSPGO(bin, samples, opts)
+	for _, w := range []int{2, 4, 8} {
+		opts.Workers = w
+		_, par := GenerateCSSPGO(bin, samples, opts)
+		if par != serial {
+			t.Fatalf("workers=%d stats differ:\nserial  %+v\nparallel %+v", w, serial, par)
+		}
+	}
+}
+
+// Satellite: repeated runs over identical inputs must serialize identically —
+// no map-iteration order may leak into emission.
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+	opts := DefaultCSSPGOOptions()
+	opts.Workers = 4
+	var wantText string
+	var wantBin []byte
+	for i := 0; i < 5; i++ {
+		p, _ := GenerateCSSPGO(bin, samples, opts)
+		text := profdata.EncodeToString(p)
+		bina := profdata.EncodeBinary(p)
+		if i == 0 {
+			wantText, wantBin = text, bina
+			continue
+		}
+		if text != wantText {
+			t.Fatalf("run %d text differs from run 0", i)
+		}
+		if !bytes.Equal(bina, wantBin) {
+			t.Fatalf("run %d binary differs from run 0", i)
+		}
+	}
+}
+
+// MergeShards must fold in shard-index order and tolerate degenerate inputs.
+func TestMergeShardsOrder(t *testing.T) {
+	if p := profdata.MergeShards(nil); p != nil {
+		t.Fatal("empty shard list must merge to nil")
+	}
+	a := profdata.New(profdata.ProbeBased, false)
+	a.FuncProfile("f").AddBody(profdata.LocKey{ID: 1}, 3)
+	b := profdata.New(profdata.ProbeBased, false)
+	b.FuncProfile("f").AddBody(profdata.LocKey{ID: 1}, 4)
+	b.FuncProfile("g").AddBody(profdata.LocKey{ID: 2}, 1)
+	m := profdata.MergeShards([]*profdata.Profile{a, b})
+	if got := m.FuncProfile("f").BodyAt(profdata.LocKey{ID: 1}); got != 7 {
+		t.Fatalf("counts not summed: %d", got)
+	}
+	if got := m.FuncProfile("g").BodyAt(profdata.LocKey{ID: 2}); got != 1 {
+		t.Fatalf("second shard lost: %d", got)
+	}
+}
+
+// The sharded flat aggregators must agree with their serial counterparts.
+func TestShardedAggregatorsMatchSerial(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+	if len(samples) < 8 {
+		t.Skipf("only %d samples", len(samples))
+	}
+	serialIT := icallTargetsSerial(bin, samples)
+	for _, w := range []int{1, 2, 4, 8} {
+		got := icallTargets(bin, samples, w)
+		if fmt.Sprint(len(got)) != fmt.Sprint(len(serialIT)) {
+			t.Fatalf("workers=%d: %d icall sites, want %d", w, len(got), len(serialIT))
+		}
+		for site, targets := range serialIT {
+			for callee, n := range targets {
+				if got[site][callee] != n {
+					t.Fatalf("workers=%d: site %#x callee %s = %d, want %d",
+						w, site, callee, got[site][callee], n)
+				}
+			}
+		}
+	}
+	serialAC := addrCounts(bin, samples, 1)
+	parAC := addrCounts(bin, samples, 4)
+	for _, fn := range bin.Funcs {
+		for a := fn.Start; a < fn.End; a++ {
+			if serialAC.Count(a) != parAC.Count(a) {
+				t.Fatalf("addr %#x: serial %d != parallel %d", a, serialAC.Count(a), parAC.Count(a))
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package sampling
 
 import (
+	"encoding/binary"
+
 	"csspgo/internal/ir"
 	"csspgo/internal/machine"
 	"csspgo/internal/profdata"
@@ -9,20 +11,39 @@ import (
 
 // CtxRange is a linear execution range together with the virtual call stack
 // in effect while it executed: Callers holds resume addresses of the frames
-// above the range's function, outermost first.
+// above the range's function, outermost first. Truncated marks ranges whose
+// outer context is unknown because the stack sample was shallower than the
+// LBR history reached back; their Callers (possibly re-grown by later
+// return records) are an incomplete suffix of the real context and must not
+// be aggregated as if they were the whole of it.
 type CtxRange struct {
-	R       Range
-	Callers []uint64
+	R         Range
+	Callers   []uint64
+	Truncated bool
 }
 
 // UnwindStats counts missing-frame inference outcomes.
 type UnwindStats struct {
-	Samples            int
+	Samples            int // samples accepted (non-empty LBR and stack)
+	Dropped            int // samples rejected before unwinding
 	Ranges             int
+	TruncatedRanges    int // ranges whose outer context was unknowable
 	SkidAdjusted       int // stacks detected lagging the LBR by one frame
 	MissingFrameEvents int // caller/callee mismatches seen (per context build)
 	EventsRecovered    int // mismatches repaired via a unique tail-call path
 	FramesRecovered    int // total frames reinserted by those repairs
+}
+
+// Add accumulates another worker's stats (the shard-merge reduction).
+func (s *UnwindStats) Add(o UnwindStats) {
+	s.Samples += o.Samples
+	s.Dropped += o.Dropped
+	s.Ranges += o.Ranges
+	s.TruncatedRanges += o.TruncatedRanges
+	s.SkidAdjusted += o.SkidAdjusted
+	s.MissingFrameEvents += o.MissingFrameEvents
+	s.EventsRecovered += o.EventsRecovered
+	s.FramesRecovered += o.FramesRecovered
 }
 
 // Unwinder reconstructs calling contexts from synchronized LBR + stack
@@ -46,10 +67,11 @@ func NewUnwinder(bin *machine.Prog, tails *TailCallGraph) *Unwinder {
 
 // Unwind recovers the context of every linear range in one sample.
 func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
-	u.Stats.Samples++
 	if len(s.LBR) == 0 || len(s.Stack) == 0 {
+		u.Stats.Dropped++
 		return nil
 	}
+	u.Stats.Samples++
 	// The stack sample is leaf-first [pc, ret1, ret2, ...]; the virtual
 	// stack keeps callers only, outermost first.
 	callers := make([]uint64, 0, len(s.Stack)-1)
@@ -71,6 +93,7 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 	}
 
 	out := make([]CtxRange, 0, len(s.LBR))
+	truncated := false
 	for i := 0; i+1 < len(s.LBR); i++ {
 		br := s.LBR[i]
 		if aligned || i > 0 {
@@ -82,9 +105,12 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 			switch in.Kind {
 			case machine.KCall:
 				if len(callers) == 0 {
-					// Stack shallower than LBR history; context unknown
-					// beyond this point.
-					callers = nil
+					// Stack shallower than LBR history; every context
+					// recovered from here back is missing its outer
+					// frames. Later KRet records may re-grow callers with
+					// genuinely known inner frames, but the context below
+					// them stays unknown, so the truncation is sticky.
+					truncated = true
 				} else {
 					callers = callers[:len(callers)-1]
 				}
@@ -99,7 +125,10 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 			continue
 		}
 		u.Stats.Ranges++
-		out = append(out, CtxRange{R: r, Callers: append([]uint64(nil), callers...)})
+		if truncated {
+			u.Stats.TruncatedRanges++
+		}
+		out = append(out, CtxRange{R: r, Callers: append([]uint64(nil), callers...), Truncated: truncated})
 	}
 	return out
 }
@@ -197,11 +226,11 @@ func (u *Unwinder) callSiteFrames(call *machine.Instr, kind profdata.Kind) []pro
 	out := make([]profdata.ContextFrame, 0, len(frames))
 	for i := len(frames) - 1; i >= 0; i-- {
 		fr := frames[i]
-		var off int32
+		site := profdata.LocKey{Disc: fr.Disc}
 		if fn := u.bin.FuncByName[fr.Func]; fn != nil {
-			off = fr.Line - fn.StartLine
+			site = lineLoc(fr, fn)
 		}
-		out = append(out, profdata.ContextFrame{Func: fr.Func, Site: profdata.LocKey{ID: off, Disc: fr.Disc}})
+		out = append(out, profdata.ContextFrame{Func: fr.Func, Site: site})
 	}
 	return out
 }
@@ -219,14 +248,20 @@ func (u *Unwinder) siteOfAddr(addr uint64, fn string, kind profdata.Kind) profda
 	frames := u.bin.InlinedFramesAt(addr)
 	if len(frames) > 0 {
 		if f := u.bin.FuncByName[frames[0].Func]; f != nil {
-			return profdata.LocKey{ID: frames[0].Line - f.StartLine, Disc: frames[0].Disc}
+			return lineLoc(frames[0], f)
 		}
 	}
 	return profdata.LocKey{}
 }
 
+// cacheKey renders one (callers, leaf, kind) triple injectively. The caller
+// count is length-prefixed and addresses are fixed-width, so the boundary
+// between the address block and the leaf name is unambiguous — without the
+// prefix, a context of N callers could alias a context of N-1 callers whose
+// leaf name happened to start with the missing address's bytes.
 func cacheKey(callers []uint64, leaf string, kind profdata.Kind) string {
-	b := make([]byte, 0, len(callers)*8+len(leaf)+1)
+	b := make([]byte, 0, binary.MaxVarintLen64+len(callers)*8+len(leaf)+1)
+	b = binary.AppendUvarint(b, uint64(len(callers)))
 	for _, a := range callers {
 		for s := 0; s < 64; s += 8 {
 			b = append(b, byte(a>>s))

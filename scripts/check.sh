@@ -21,6 +21,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== go test -race (parallel profile generation)"
+go test -race ./internal/sampling ./internal/pgo
+
 echo "== csspgo lint (examples)"
 go build -o bin/csspgo ./cmd/csspgo
 for f in examples/*/*.ml; do
