@@ -1,0 +1,19 @@
+package sampling
+
+import (
+	"testing"
+
+	"csspgo/internal/sim"
+)
+
+func TestReviewStatsDivergence(t *testing.T) {
+	bin := tailCallProgram(t)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 30, 120)
+	_, s1 := GenerateCSSPGO(bin, samples, CSSPGOOptions{TailCallInference: true, MaxContextDepth: 8, Workers: 1})
+	_, s8 := GenerateCSSPGO(bin, samples, CSSPGOOptions{TailCallInference: true, MaxContextDepth: 8, Workers: 8})
+	t.Logf("workers=1: %+v", s1)
+	t.Logf("workers=8: %+v", s8)
+	if s1 != s8 {
+		t.Errorf("stats diverge between worker counts")
+	}
+}
