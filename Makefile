@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench fuzz check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Fuzz smoke lane: native fuzzing of the profile readers, one short burst
+# per target (also part of `make check`).
+fuzz:
+	$(GO) test ./internal/profdata -run='^FuzzReadText$$' -fuzz='^FuzzReadText$$' -fuzztime=5s
+	$(GO) test ./internal/profdata -run='^FuzzReadBinary$$' -fuzz='^FuzzReadBinary$$' -fuzztime=5s
 
 # Full hygiene gate: gofmt, vet, build, tests, and `csspgo lint` over every
 # example module (checked pipeline + profile/IR lint suite).

@@ -10,6 +10,7 @@ import (
 	"csspgo/internal/analysis"
 	"csspgo/internal/opt"
 	"csspgo/internal/pgo"
+	"csspgo/internal/stale"
 )
 
 // lintReport is the machine-readable output of `csspgo lint -json`.
@@ -39,6 +40,8 @@ func cmdLint(args []string) error {
 	probes := fs.Bool("probes", true, "insert pseudo-probes before the pipeline")
 	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
 	verifyEach := fs.Bool("verify-each", true, "check IR invariants after every pass")
+	staleMatch := fs.Bool("stale-matching", false, "build with anchor matching and report each stale function's rung on the degradation ladder")
+	minQuality := fs.Float64("min-match-quality", 0, "anchor-match acceptance threshold (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
 	_ = fs.Parse(args)
 
@@ -50,6 +53,8 @@ func cmdLint(args []string) error {
 		Probes:                *probes,
 		UsePreInlineDecisions: *preinl,
 		VerifyEach:            *verifyEach,
+		StaleMatching:         *staleMatch,
+		MinMatchQuality:       *minQuality,
 	}
 	if *profPath != "" {
 		prof, err := loadProfile(*profPath)
@@ -76,6 +81,14 @@ func cmdLint(args []string) error {
 		// optimized program itself.
 		if cfg.Profile != nil {
 			rep.Diagnostics = append(rep.Diagnostics, analysis.CheckProfile(cfg.Profile, res.FreshIR)...)
+			if *staleMatch {
+				params := stale.DefaultParams()
+				if *minQuality > 0 {
+					params.MinQuality = *minQuality
+				}
+				rep.Diagnostics = append(rep.Diagnostics,
+					analysis.CheckStaleMatching(cfg.Profile, res.FreshIR, params)...)
+			}
 		}
 		opts := analysis.DefaultOptions()
 		opts.Flow = cfg.Profile != nil // inference ran last, so flow must hold
@@ -108,6 +121,9 @@ func cmdLint(args []string) error {
 		} else {
 			for _, d := range rep.Diagnostics {
 				fmt.Println(d)
+			}
+			if *staleMatch && rep.Violation == nil {
+				printLadder(res.Stats)
 			}
 		}
 		fmt.Printf("lint: %d error(s), %d warning(s)\n", rep.Errors, rep.Warnings)

@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] src.ml...
+//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-stale-matching [-min-match-quality Q]] src.ml...
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
 //	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin
-//	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-json] src.ml...
+//	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"csspgo/internal/machine"
+	"csspgo/internal/opt"
 	"csspgo/internal/pgo"
 	"csspgo/internal/preinline"
 	"csspgo/internal/profdata"
@@ -168,13 +169,21 @@ func cmdBuild(args []string) error {
 	instrument := fs.Bool("instrument", false, "materialize probes as counters (Instr PGO training)")
 	profPath := fs.String("profile", "", "input profile (text format)")
 	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
+	staleMatch := fs.Bool("stale-matching", false, "recover stale function profiles via anchor matching instead of dropping them")
+	minQuality := fs.Float64("min-match-quality", 0, "anchor-match acceptance threshold (0 = default)")
 	_ = fs.Parse(args)
 
 	files, err := parseFiles(fs.Args())
 	if err != nil {
 		return err
 	}
-	cfg := pgo.BuildConfig{Probes: *probes || *instrument, Instrument: *instrument, UsePreInlineDecisions: *preinl}
+	cfg := pgo.BuildConfig{
+		Probes:                *probes || *instrument,
+		Instrument:            *instrument,
+		UsePreInlineDecisions: *preinl,
+		StaleMatching:         *staleMatch,
+		MinMatchQuality:       *minQuality,
+	}
 	if *profPath != "" {
 		prof, err := loadProfile(*profPath)
 		if err != nil {
@@ -196,7 +205,19 @@ func cmdBuild(args []string) error {
 	}
 	fmt.Printf("built %s: %s\n", *out, res.Bin)
 	fmt.Printf("pipeline: %+v\n", *res.Stats)
+	if *staleMatch {
+		printLadder(res.Stats)
+	}
 	return nil
+}
+
+// printLadder summarizes where stale profiles landed on the degradation
+// ladder (exact matches never enter it and are not listed).
+func printLadder(st *opt.Stats) {
+	dropped := st.StaleFuncs - st.MatchedFuncs - st.FlatFallbackFuncs
+	fmt.Printf("degradation ladder: %d stale func(s): %d anchor-matched (mean quality %.2f, %d probes transferred), %d flat-fallback, %d dropped; %d context(s) remapped\n",
+		st.StaleFuncs, st.MatchedFuncs, st.MatchQuality, st.RecoveredProbes,
+		st.FlatFallbackFuncs, dropped, st.MatchedContexts)
 }
 
 func cmdRun(args []string) error {

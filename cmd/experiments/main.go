@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall] [-scale N]
+//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall|driftmatrix|corruption] [-scale N]
 package main
 
 import (
@@ -49,6 +49,8 @@ func main() {
 		{"ablation-lbrdepth", func(s int) (fmt.Stringer, error) { return pgo.RunAblationLBRDepth(s) }},
 		{"valueprofile", func(s int) (fmt.Stringer, error) { return pgo.RunValueProfile(s) }},
 		{"ablation-icp", func(s int) (fmt.Stringer, error) { return pgo.RunAblationICP(s) }},
+		{"driftmatrix", func(s int) (fmt.Stringer, error) { return pgo.RunDriftMatrix(s) }},
+		{"corruption", func(s int) (fmt.Stringer, error) { return pgo.RunCorruptionMatrix(s) }},
 	}
 
 	ran := 0

@@ -4,13 +4,22 @@ import (
 	"csspgo/internal/ir"
 	"csspgo/internal/probe"
 	"csspgo/internal/profdata"
+	"csspgo/internal/stale"
 )
 
-// AnnotateStats reports annotation outcomes.
+// AnnotateStats reports annotation outcomes, including how far down the
+// degradation ladder each stale function landed: exact checksum match →
+// anchor-matched → flat fallback → dropped.
 type AnnotateStats struct {
 	Annotated int
-	Stale     int // probe checksum mismatch: profile rejected
+	Stale     int // probe checksum mismatches detected (= Matched + FlatFallback + Dropped)
 	NoProfile int
+
+	Matched         int     // stale profiles recovered by the anchor matcher
+	FlatFallback    int     // stale profiles degraded to a uniform flat annotation
+	Dropped         int     // stale profiles discarded (matching disabled)
+	RecoveredProbes int     // old probe IDs whose counts the matcher transferred
+	QualitySum      float64 // sum of match qualities over Matched functions
 }
 
 // Annotate maps base (context-insensitive) function profiles onto the IR:
@@ -24,6 +33,14 @@ type AnnotateStats struct {
 var annotatePass = registerPass("annotate", flowPerturbs)
 
 func Annotate(p *ir.Program, prof *profdata.Profile) AnnotateStats {
+	return AnnotateWithMatcher(p, prof, nil)
+}
+
+// AnnotateWithMatcher is Annotate with the degradation ladder enabled: a
+// non-nil matcher lets stale probe-based profiles degrade to anchor-matched
+// counts, and failing that to a flat (context- and position-insensitive)
+// fallback, instead of being dropped.
+func AnnotateWithMatcher(p *ir.Program, prof *profdata.Profile, m *stale.Matcher) AnnotateStats {
 	var st AnnotateStats
 	for _, f := range p.Functions() {
 		fp := prof.Funcs[f.Name]
@@ -34,6 +51,7 @@ func Annotate(p *ir.Program, prof *profdata.Profile) AnnotateStats {
 		if prof.Kind == profdata.ProbeBased {
 			if fp.Checksum != 0 && f.Checksum != 0 && fp.Checksum != f.Checksum {
 				st.Stale++
+				degradeStale(f, fp, m, &st)
 				continue
 			}
 			annotateProbe(f, fp)
@@ -45,6 +63,51 @@ func Annotate(p *ir.Program, prof *profdata.Profile) AnnotateStats {
 		st.Annotated++
 	}
 	return st
+}
+
+// degradeStale walks the sub-exact rungs of the degradation ladder for one
+// stale function profile and reports whether f received any annotation.
+func degradeStale(f *ir.Function, fp *profdata.FunctionProfile, m *stale.Matcher, st *AnnotateStats) bool {
+	if m == nil {
+		st.Dropped++
+		return false
+	}
+	if res := m.Match(f, fp); res.OK {
+		annotateProbe(f, res.Profile)
+		f.EntryCount = res.Profile.HeadSamples
+		f.HasProfile = true
+		st.Matched++
+		st.RecoveredProbes += res.RecoveredProbes
+		st.QualitySum += res.Quality
+		return true
+	}
+	annotateFlat(f, fp)
+	st.FlatFallback++
+	return true
+}
+
+// annotateFlat is the last profiled rung of the ladder: the function is
+// known hot (its total mass survived the drift) but no count can be placed,
+// so the mass spreads uniformly — enough for function-level decisions
+// (inlining hotness, layout, splitting nothing) without asserting anything
+// about branch shape.
+func annotateFlat(f *ir.Function, fp *profdata.FunctionProfile) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	w := fp.TotalSamples / uint64(len(f.Blocks))
+	if w == 0 && fp.TotalSamples > 0 {
+		w = 1
+	}
+	for _, b := range f.Blocks {
+		b.Weight = w
+		b.HasWeight = true
+	}
+	f.EntryCount = fp.HeadSamples
+	if f.EntryCount == 0 {
+		f.EntryCount = w
+	}
+	f.HasProfile = true
 }
 
 func annotateProbe(f *ir.Function, fp *profdata.FunctionProfile) {

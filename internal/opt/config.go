@@ -96,6 +96,13 @@ type Config struct {
 	// decisions, contexts at least this hot are inlined by the top-down
 	// sample inliner.
 	CSHotContextThreshold uint64
+	// StaleMatching enables the anchor-based stale-profile matcher: on a
+	// CFG-checksum mismatch the function profile degrades down the ladder
+	// (anchor-matched, then flat fallback) instead of being dropped.
+	StaleMatching bool
+	// MinMatchQuality overrides the matcher's minimum acceptable match
+	// quality (0 = stale.DefaultParams().MinQuality).
+	MinMatchQuality float64
 	// VerifyEach enables checked pipeline mode (LLVM -verify-each style):
 	// after every pass, Function.Verify and the analysis suite run over the
 	// whole program, and the first error-severity finding aborts Optimize
@@ -122,22 +129,28 @@ func TrainingConfig() *Config {
 
 // Stats reports what the pipeline did.
 type Stats struct {
-	AnnotatedFuncs   int
-	StaleFuncs       int
-	InferenceAdjust  int
-	SampleInlines    int
-	StaticInlines    int
-	CFGMerged        int
-	CFGEmptyRemoved  int
-	TailMerges       int
-	TailMergeBlocked int
-	IfConverts       int
-	IfConvertBlocked int
-	Unrolled         int
-	LICMHoisted      int
-	DCERemoved       int
-	TailCalls        int
-	SplitBlocks      int
-	LayoutFuncs      int
-	ICPromotions     int
+	AnnotatedFuncs int
+	StaleFuncs     int
+	// Degradation-ladder outcomes (StaleMatching builds).
+	MatchedFuncs      int     // stale base profiles recovered by the anchor matcher
+	FlatFallbackFuncs int     // stale base profiles degraded to the flat fallback
+	MatchedContexts   int     // stale context profiles remapped for CS inlining
+	RecoveredProbes   int     // old probe IDs whose counts the matcher transferred
+	MatchQuality      float64 // mean match quality over MatchedFuncs
+	InferenceAdjust   int
+	SampleInlines     int
+	StaticInlines     int
+	CFGMerged         int
+	CFGEmptyRemoved   int
+	TailMerges        int
+	TailMergeBlocked  int
+	IfConverts        int
+	IfConvertBlocked  int
+	Unrolled          int
+	LICMHoisted       int
+	DCERemoved        int
+	TailCalls         int
+	SplitBlocks       int
+	LayoutFuncs       int
+	ICPromotions      int
 }

@@ -4,6 +4,7 @@ import (
 	"csspgo/internal/inference"
 	"csspgo/internal/ir"
 	"csspgo/internal/profdata"
+	"csspgo/internal/stale"
 )
 
 // Passes with entry points outside this package (or with none at all)
@@ -61,15 +62,29 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 		r.check = newChecker(p)
 	}
 	prof := cfg.Profile
+	var matcher *stale.Matcher
+	if cfg.StaleMatching {
+		params := stale.DefaultParams()
+		if cfg.MinMatchQuality > 0 {
+			params.MinQuality = cfg.MinMatchQuality
+		}
+		matcher = stale.NewMatcher(params)
+	}
 	if prof != nil {
 		prof = prof.Clone() // the pipeline consumes/mutates the profile
 		if prof.CS {
 			PrepareCSProfile(prof, cfg.UsePreInlineDecisions, cfg.CSHotContextThreshold)
 		}
 		if err := r.run(annotatePass, func() {
-			a := Annotate(p, prof)
+			a := AnnotateWithMatcher(p, prof, matcher)
 			st.AnnotatedFuncs = a.Annotated
 			st.StaleFuncs = a.Stale
+			st.MatchedFuncs = a.Matched
+			st.FlatFallbackFuncs = a.FlatFallback
+			st.RecoveredProbes = a.RecoveredProbes
+			if a.Matched > 0 {
+				st.MatchQuality = a.QualitySum / float64(a.Matched)
+			}
 		}); err != nil {
 			return st, err
 		}
@@ -93,7 +108,7 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 		// Top-down profile-guided inlining.
 		if err := r.run(sampleInlinePass, func() {
 			if prof.CS {
-				st.SampleInlines = SampleInlineCS(p, prof, st)
+				st.SampleInlines = SampleInlineCS(p, prof, matcher, st)
 			} else {
 				st.SampleInlines = SampleInlineAutoFDO(p, cfg.Inline)
 			}

@@ -3,6 +3,7 @@ package opt
 import (
 	"csspgo/internal/ir"
 	"csspgo/internal/profdata"
+	"csspgo/internal/stale"
 )
 
 // SampleInlineCS is the CSSPGO top-down sample-loader inliner. Functions
@@ -17,11 +18,12 @@ import (
 // compile-time half of Algorithm 2's profile bookkeeping.
 //
 // Returns the number of call sites inlined; stale-context rejections are
-// counted into st (which may be nil).
+// counted into st (which may be nil). A non-nil matcher lets stale contexts
+// degrade via anchor matching instead of merging straight into the base.
 // sampleInlinePass rewrites caller CFGs from context profiles.
 var sampleInlinePass = registerPass("sample-inline", flowPerturbs)
 
-func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
+func SampleInlineCS(p *ir.Program, prof *profdata.Profile, m *stale.Matcher, st *Stats) int {
 	if !prof.CS || len(prof.Contexts) == 0 {
 		return 0
 	}
@@ -53,14 +55,28 @@ func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
 						// Stale defense: a context profile whose CFG
 						// checksum no longer matches the callee must not
 						// annotate an inlined body (source drift changed
-						// the callee's shape). It falls through to the
-						// base-merge sweep, where annotation re-checks.
+						// the callee's shape). The anchor matcher may remap
+						// it into the callee's new ID space; otherwise it
+						// falls through to the base-merge sweep, where
+						// annotation re-checks.
 						if cp.Checksum != 0 && callee.Checksum != 0 && cp.Checksum != callee.Checksum {
-							if st != nil {
-								st.StaleFuncs++
+							var remapped *profdata.FunctionProfile
+							if m != nil {
+								if res := m.Match(callee, cp); res.OK {
+									remapped = res.Profile
+								}
 							}
-							prof.MergeContextIntoBase(key)
-							continue
+							if remapped == nil {
+								if st != nil {
+									st.StaleFuncs++
+								}
+								prof.MergeContextIntoBase(key)
+								continue
+							}
+							if st != nil {
+								st.MatchedContexts++
+							}
+							cp = remapped
 						}
 						if err := InlineCall(p, f, b, i, cp); err != nil {
 							continue
@@ -79,7 +95,7 @@ func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
 				}
 			}
 		}
-		promoteContextsRootedAt(p, prof, name)
+		promoteContextsRootedAt(p, prof, name, m)
 	}
 
 	// Safety net: any context that survived both consumption and promotion
@@ -97,7 +113,12 @@ func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
 			continue
 		}
 		if fp.Checksum != 0 && f.Checksum != 0 && fp.Checksum != f.Checksum {
-			if st != nil {
+			// The merged base is stale: walk the ladder rather than leaving
+			// whatever annotation the function had. Function-level match
+			// counters stay with Annotate — this sweep revisits functions it
+			// already classified.
+			var ast AnnotateStats
+			if !degradeStale(f, fp, m, &ast) && st != nil {
 				st.StaleFuncs++
 			}
 			continue
@@ -113,7 +134,7 @@ func SampleInlineCS(p *ir.Program, prof *profdata.Profile, st *Stats) int {
 // context rooted at fname: the call was not inlined, so the callee runs
 // standalone and its context counts belong one level down. Depth-1 results
 // merge into base profiles, whose functions are immediately re-annotated.
-func promoteContextsRootedAt(p *ir.Program, prof *profdata.Profile, fname string) {
+func promoteContextsRootedAt(p *ir.Program, prof *profdata.Profile, fname string, m *stale.Matcher) {
 	reannotate := map[string]bool{}
 	for _, key := range prof.SortedContextKeys() {
 		cp, ok := prof.Contexts[key]
@@ -142,6 +163,8 @@ func promoteContextsRootedAt(p *ir.Program, prof *profdata.Profile, fname string
 			continue
 		}
 		if fp.Checksum != 0 && f.Checksum != 0 && fp.Checksum != f.Checksum {
+			var ast AnnotateStats
+			degradeStale(f, fp, m, &ast)
 			continue
 		}
 		annotateProbe(f, fp)

@@ -58,6 +58,13 @@ type BuildConfig struct {
 	// violation aborts the build with an *opt.PassViolation attributing the
 	// offending pass.
 	VerifyEach bool
+	// StaleMatching enables anchor-based stale-profile matching: stale
+	// function profiles degrade down the ladder (anchor-matched, then flat
+	// fallback) instead of being dropped.
+	StaleMatching bool
+	// MinMatchQuality overrides the matcher's acceptance threshold (0 =
+	// the stale package default).
+	MinMatchQuality float64
 }
 
 // BuildResult bundles a compilation's artifacts.
@@ -86,6 +93,8 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 		CSHotContextThreshold: cfg.CSHotContextThreshold,
 		Inference:             cfg.Profile != nil && !cfg.DisableInference,
 		DisableICP:            cfg.DisableICP,
+		StaleMatching:         cfg.StaleMatching,
+		MinMatchQuality:       cfg.MinMatchQuality,
 		Inline:                opt.DefaultInlineParams(),
 		EnableTCE:             true,
 		Layout:                cfg.Profile != nil,

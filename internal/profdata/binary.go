@@ -49,6 +49,9 @@ func (w *binWriter) funcProfile(fp *FunctionProfile) {
 	if fp.ShouldInline {
 		flags |= 1
 	}
+	if fp.Approx {
+		flags |= 2
+	}
 	w.uvarint(flags)
 	w.uvarint(fp.HeadSamples)
 	w.uvarint(fp.Checksum)
@@ -173,6 +176,7 @@ func (r *binReader) funcProfile(fp *FunctionProfile) error {
 		return err
 	}
 	fp.ShouldInline = flags&1 != 0
+	fp.Approx = flags&2 != 0
 	if fp.HeadSamples, err = r.uvarint(); err != nil {
 		return err
 	}
@@ -222,13 +226,45 @@ func (r *binReader) funcProfile(fp *FunctionProfile) error {
 	return nil
 }
 
-// DecodeBinary parses a binary profile.
+// DecodeBinary parses a binary profile, rejecting any malformed input.
 func DecodeBinary(data []byte) (*Profile, error) {
+	p, _, err := decodeBinary(data, false)
+	return p, err
+}
+
+// DecodeBinaryLenient parses a binary profile, keeping every record decoded
+// before the first corruption. The varint stream has no record framing to
+// resynchronize on, so everything from the first bad byte onward is lost;
+// SkippedRecords counts the records the header declared but that could not
+// be read. Only a missing/unsupported header is still an error.
+func DecodeBinaryLenient(data []byte) (*Profile, ReadStats, error) {
+	return decodeBinary(data, true)
+}
+
+// clampRecords bounds a remaining-record count derived from an untrusted
+// header field so a corrupt count cannot overflow the stats.
+func clampRecords(n uint64) int {
+	const max = 1 << 20
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+// install merges one decoded record into the profile's entry, preserving
+// flag semantics for (corrupt) inputs that repeat a record.
+func install(dst, src *FunctionProfile) {
+	dst.Merge(src)
+	dst.ShouldInline = dst.ShouldInline || src.ShouldInline
+}
+
+func decodeBinary(data []byte, lenient bool) (*Profile, ReadStats, error) {
+	var stats ReadStats
 	if !IsBinaryProfile(data) {
-		return nil, fmt.Errorf("profdata: not a binary profile")
+		return nil, stats, fmt.Errorf("profdata: not a binary profile")
 	}
 	if data[4] != binVersion {
-		return nil, fmt.Errorf("profdata: unsupported binary profile version %d", data[4])
+		return nil, stats, fmt.Errorf("profdata: unsupported binary profile version %d", data[4])
 	}
 	flags := data[5]
 	kind := LineBased
@@ -237,50 +273,72 @@ func DecodeBinary(data []byte) (*Profile, error) {
 	}
 	p := New(kind, flags&2 != 0)
 	r := &binReader{r: bytes.NewReader(data[6:])}
+	// bail either aborts (strict) or writes off the declared-but-unreadable
+	// remainder of the stream and keeps the parsed prefix (lenient).
+	bail := func(remaining uint64, err error) (*Profile, ReadStats, error) {
+		if !lenient {
+			return nil, stats, err
+		}
+		stats.SkippedRecords += clampRecords(remaining)
+		return p, stats, nil
+	}
 
 	nf, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return bail(1, err)
 	}
 	for i := uint64(0); i < nf; i++ {
 		name, err := r.str()
 		if err != nil {
-			return nil, err
+			return bail(nf-i, err)
 		}
-		if err := r.funcProfile(p.FuncProfile(name)); err != nil {
-			return nil, err
+		tmp := NewFunctionProfile(name)
+		if err := r.funcProfile(tmp); err != nil {
+			return bail(nf-i, err)
 		}
+		install(p.FuncProfile(name), tmp)
 	}
 	nctx, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return bail(1, err)
 	}
 	for i := uint64(0); i < nctx; i++ {
 		depth, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return bail(nctx-i, err)
 		}
 		if depth == 0 || depth > 1024 {
-			return nil, fmt.Errorf("profdata: context depth %d implausible", depth)
+			return bail(nctx-i, fmt.Errorf("profdata: context depth %d implausible", depth))
 		}
 		ctx := make(Context, depth)
+		bad := false
 		for j := uint64(0); j < depth; j++ {
 			fn, err := r.str()
 			if err != nil {
-				return nil, err
+				return bail(nctx-i, err)
 			}
 			ctx[j].Func = fn
+			if fn == "" {
+				bad = true
+			}
 			if j != depth-1 {
 				if ctx[j].Site, err = r.loc(); err != nil {
-					return nil, err
+					return bail(nctx-i, err)
 				}
 			}
 		}
-		if err := r.funcProfile(p.ContextProfile(ctx)); err != nil {
-			return nil, err
+		if bad {
+			// An empty frame name cannot round-trip through the canonical
+			// context key; reject the record rather than corrupt the table.
+			return bail(nctx-i, fmt.Errorf("profdata: empty context frame name"))
 		}
+		tmp := NewFunctionProfile(ctx.Leaf())
+		if err := r.funcProfile(tmp); err != nil {
+			return bail(nctx-i, err)
+		}
+		install(p.ContextProfile(ctx), tmp)
 	}
-	return p, nil
+	return p, stats, nil
 }
 
 // IsBinaryProfile reports whether data starts with the binary magic.
@@ -294,6 +352,14 @@ func DecodeAny(data []byte) (*Profile, error) {
 		return DecodeBinary(data)
 	}
 	return DecodeString(string(data))
+}
+
+// DecodeAnyLenient parses either format leniently, auto-detected.
+func DecodeAnyLenient(data []byte) (*Profile, ReadStats, error) {
+	if IsBinaryProfile(data) {
+		return DecodeBinaryLenient(data)
+	}
+	return DecodeLenient(bytes.NewReader(data))
 }
 
 // BinarySizeBytes is the size of the compact encoding.

@@ -64,6 +64,11 @@ type FunctionProfile struct {
 	// ShouldInline is the pre-inliner's persisted decision that this
 	// context should be inlined into its caller (CS profiles only).
 	ShouldInline bool
+
+	// Approx marks counts that were transferred from a stale profile by the
+	// anchor matcher (or otherwise estimated) rather than measured against
+	// this exact CFG; consumers may weight such profiles more cautiously.
+	Approx bool
 }
 
 // NewFunctionProfile returns an empty profile for name.
@@ -125,6 +130,7 @@ func (fp *FunctionProfile) Merge(src *FunctionProfile) {
 	if fp.Checksum == 0 {
 		fp.Checksum = src.Checksum
 	}
+	fp.Approx = fp.Approx || src.Approx
 }
 
 // Scale multiplies every count by num/den (used by profile maintenance when
@@ -155,6 +161,7 @@ func (fp *FunctionProfile) Clone() *FunctionProfile {
 	out.TotalSamples = fp.TotalSamples
 	out.HeadSamples = fp.HeadSamples
 	out.ShouldInline = fp.ShouldInline
+	out.Approx = fp.Approx
 	for loc, n := range fp.Blocks {
 		out.Blocks[loc] = n
 	}

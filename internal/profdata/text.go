@@ -40,6 +40,9 @@ func Encode(w io.Writer, p *Profile) error {
 		if fp.ShouldInline {
 			fmt.Fprintf(bw, "shouldinline\n")
 		}
+		if fp.Approx {
+			fmt.Fprintf(bw, "approx\n")
+		}
 		if fp.HeadSamples != 0 {
 			fmt.Fprintf(bw, "head %d\n", fp.HeadSamples)
 		}
@@ -99,13 +102,56 @@ func parseLocKey(s string) (LocKey, error) {
 	return LocKey{ID: int32(id)}, nil
 }
 
-// Decode parses a text profile.
+// ReadStats reports what a lenient decode had to discard. A zero value
+// means the input decoded cleanly.
+type ReadStats struct {
+	// SkippedRecords counts whole sections (function/context records)
+	// dropped because their header was malformed, plus — for the binary
+	// format, where a corrupt varint stream cannot be resynchronized —
+	// records declared by the header but unreadable.
+	SkippedRecords int
+	// SkippedLines counts individual malformed data lines dropped from
+	// otherwise-readable text sections.
+	SkippedLines int
+}
+
+func (s ReadStats) clean() bool { return s == ReadStats{} }
+
+// Decode parses a text profile, rejecting any malformed input.
 func Decode(r io.Reader) (*Profile, error) {
+	p, _, err := decodeText(r, false)
+	return p, err
+}
+
+// DecodeLenient parses a text profile, skipping malformed sections and data
+// lines instead of failing; the ReadStats say how much was dropped. Only a
+// missing/unreadable profile header is still an error — without it the
+// profile kind is unknowable.
+func DecodeLenient(r io.Reader) (*Profile, ReadStats, error) {
+	return decodeText(r, true)
+}
+
+func decodeText(r io.Reader, lenient bool) (*Profile, ReadStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var p *Profile
 	var cur *FunctionProfile
+	var stats ReadStats
 	lineNo := 0
+	// fail reports a malformed line: strict mode aborts the decode, lenient
+	// mode records the damage and skips the line. A malformed section header
+	// also poisons `cur` so following data lines are not misattributed.
+	fail := func(record bool, format string, args ...any) error {
+		if !lenient {
+			return fmt.Errorf(format, args...)
+		}
+		if record {
+			stats.SkippedRecords++
+		} else {
+			stats.SkippedLines++
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -123,17 +169,25 @@ func Decode(r io.Reader) (*Profile, error) {
 			continue
 		}
 		if p == nil {
-			return nil, fmt.Errorf("line %d: missing profile header", lineNo)
+			return nil, stats, fmt.Errorf("line %d: missing profile header", lineNo)
 		}
 		if strings.HasPrefix(line, "[") {
 			if !strings.HasSuffix(line, "]") {
-				return nil, fmt.Errorf("line %d: malformed section %q", lineNo, line)
+				cur = nil
+				if err := fail(true, "line %d: malformed section %q", lineNo, line); err != nil {
+					return nil, stats, err
+				}
+				continue
 			}
 			key := line[1 : len(line)-1]
 			if strings.Contains(key, " @ ") || strings.Contains(key, ":") {
 				ctx, err := ParseContext(key)
 				if err != nil {
-					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+					cur = nil
+					if err := fail(true, "line %d: %v", lineNo, err); err != nil {
+						return nil, stats, err
+					}
+					continue
 				}
 				cur = p.ContextProfile(ctx)
 			} else {
@@ -142,67 +196,94 @@ func Decode(r io.Reader) (*Profile, error) {
 			continue
 		}
 		if cur == nil {
-			return nil, fmt.Errorf("line %d: data before any section", lineNo)
+			if err := fail(false, "line %d: data before any section", lineNo); err != nil {
+				return nil, stats, err
+			}
+			continue
 		}
 		fields := strings.Fields(line)
+		var lineErr error
 		switch fields[0] {
 		case "shouldinline":
 			cur.ShouldInline = true
+		case "approx":
+			cur.Approx = true
 		case "head":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: bad head", lineNo)
+				lineErr = fmt.Errorf("line %d: bad head", lineNo)
+				break
 			}
 			v, err := strconv.ParseUint(fields[1], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			cur.HeadSamples = v
 		case "checksum":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: bad checksum", lineNo)
+				lineErr = fmt.Errorf("line %d: bad checksum", lineNo)
+				break
 			}
 			v, err := strconv.ParseUint(fields[1], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			cur.Checksum = v
 		case "body":
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("line %d: bad body", lineNo)
+				lineErr = fmt.Errorf("line %d: bad body", lineNo)
+				break
 			}
 			loc, err := parseLocKey(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			v, err := strconv.ParseUint(fields[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			cur.AddBody(loc, v)
 		case "call":
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("line %d: bad call", lineNo)
+				lineErr = fmt.Errorf("line %d: bad call", lineNo)
+				break
 			}
 			loc, err := parseLocKey(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			v, err := strconv.ParseUint(fields[3], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
+				break
 			}
 			cur.AddCall(loc, fields[2], v)
 		default:
-			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+			lineErr = fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+		if lineErr != nil {
+			if err := fail(false, "%v", lineErr); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if !lenient || p == nil {
+			return nil, stats, err
+		}
+		// A scanner error (e.g. an absurdly long line) ends the input early;
+		// treat whatever followed as one lost record.
+		stats.SkippedRecords++
+		return p, stats, nil
 	}
 	if p == nil {
-		return nil, fmt.Errorf("empty profile")
+		return nil, stats, fmt.Errorf("empty profile")
 	}
-	return p, nil
+	return p, stats, nil
 }
 
 // DecodeString parses a text profile from a string.

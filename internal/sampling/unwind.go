@@ -29,7 +29,7 @@ type UnwindStats struct {
 	Ranges             int
 	TruncatedRanges    int // ranges whose outer context was unknowable
 	SkidAdjusted       int // stacks detected lagging the LBR by one frame
-	MissingFrameEvents int // caller/callee mismatches seen (per context build)
+	MissingFrameEvents int // caller/callee mismatches seen (per context lookup)
 	EventsRecovered    int // mismatches repaired via a unique tail-call path
 	FramesRecovered    int // total frames reinserted by those repairs
 }
@@ -57,12 +57,25 @@ type Unwinder struct {
 	// AssumeAligned skips skid detection (PEBS ablation only).
 	AssumeAligned bool
 
-	ctxCache map[string]profdata.Context
+	ctxCache map[string]ctxEntry
+}
+
+// ctxEntry memoizes one resolved context together with the inference-stat
+// deltas its construction produced. Replaying the deltas on every cache hit
+// keeps the stats proportional to lookups, not cache misses — otherwise a
+// sharded run (one private cache per worker) would rebuild and re-count the
+// same context up to once per worker and the stats would depend on the
+// worker count.
+type ctxEntry struct {
+	ctx       profdata.Context
+	missing   int
+	recovered int
+	frames    int
 }
 
 // NewUnwinder returns an unwinder over bin. tails may be nil.
 func NewUnwinder(bin *machine.Prog, tails *TailCallGraph) *Unwinder {
-	return &Unwinder{bin: bin, tails: tails, ctxCache: map[string]profdata.Context{}}
+	return &Unwinder{bin: bin, tails: tails, ctxCache: map[string]ctxEntry{}}
 }
 
 // Unwind recovers the context of every linear range in one sample.
@@ -140,10 +153,14 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 // frame(s). leafFunc is the physical function the ranges execute in.
 func (u *Unwinder) ContextOf(callers []uint64, leafFunc string, kind profdata.Kind) profdata.Context {
 	key := cacheKey(callers, leafFunc, kind)
-	if c, ok := u.ctxCache[key]; ok {
-		return c
+	if e, ok := u.ctxCache[key]; ok {
+		u.Stats.MissingFrameEvents += e.missing
+		u.Stats.EventsRecovered += e.recovered
+		u.Stats.FramesRecovered += e.frames
+		return e.ctx
 	}
 	var ctx profdata.Context
+	var e ctxEntry
 	for i, resume := range callers {
 		call := u.callSiteBefore(resume)
 		if call == nil {
@@ -162,22 +179,25 @@ func (u *Unwinder) ContextOf(callers []uint64, leafFunc string, kind profdata.Ki
 			}
 		}
 		if target != next {
-			u.Stats.MissingFrameEvents++
+			e.missing++
 			if u.tails != nil {
 				if path := u.tails.InferPath(target, next); path != nil {
-					for _, e := range path {
-						site := u.siteOfAddr(e.SiteAddr, e.From, kind)
-						ctx = append(ctx, profdata.ContextFrame{Func: e.From, Site: site})
+					for _, pe := range path {
+						site := u.siteOfAddr(pe.SiteAddr, pe.From, kind)
+						ctx = append(ctx, profdata.ContextFrame{Func: pe.From, Site: site})
 					}
-					u.Stats.EventsRecovered++
-					u.Stats.FramesRecovered += len(path)
+					e.recovered++
+					e.frames += len(path)
 				}
 			}
 		}
 	}
-	out := append(profdata.Context(nil), ctx...)
-	u.ctxCache[key] = out
-	return out
+	e.ctx = append(profdata.Context(nil), ctx...)
+	u.ctxCache[key] = e
+	u.Stats.MissingFrameEvents += e.missing
+	u.Stats.EventsRecovered += e.recovered
+	u.Stats.FramesRecovered += e.frames
+	return e.ctx
 }
 
 // callSiteBefore finds the call/tail-call instruction immediately preceding

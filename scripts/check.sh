@@ -24,6 +24,13 @@ go test ./...
 echo "== go test -race (parallel profile generation)"
 go test -race ./internal/sampling ./internal/pgo
 
+echo "== fuzz smoke (profile readers, 5s per target)"
+# One target per invocation: go test rejects -fuzz patterns matching
+# multiple fuzz targets in a package.
+for target in FuzzReadText FuzzReadBinary; do
+	go test ./internal/profdata -run="^$target\$" -fuzz="^$target\$" -fuzztime=5s
+done
+
 echo "== csspgo lint (examples)"
 go build -o bin/csspgo ./cmd/csspgo
 for f in examples/*/*.ml; do
