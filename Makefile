@@ -9,12 +9,17 @@ test:
 	$(GO) test ./...
 
 # Race lane: the packages exercising the sharded profile-generation worker
-# pool under the race detector.
+# pool under the race detector, plus the shared metric registry they
+# publish into.
 race:
-	$(GO) test -race ./internal/sampling ./internal/pgo
+	$(GO) test -race ./internal/sampling ./internal/pgo ./internal/obs
 
+# Bench lane: Go micro-benchmarks, then the Fig. 6 corpus through the
+# run-report emitter — BENCH_4.json carries ns-comparable stage timings and
+# the experiment.fig6.* headline gauges.
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/experiments -run fig6 -report BENCH_4.json
 
 # Fuzz smoke lane: native fuzzing of the profile readers, one short burst
 # per target (also part of `make check`).

@@ -65,6 +65,9 @@ func cmdLint(args []string) error {
 	}
 
 	rep := lintReport{Diagnostics: []analysis.Diagnostic{}}
+	// Metric-namespace hygiene: the static catalog must be duplicate-free
+	// and follow the naming conventions before any run report is trusted.
+	rep.Diagnostics = append(rep.Diagnostics, analysis.CheckMetricCatalog()...)
 	res, err := pgo.Build(files, cfg)
 	if err != nil {
 		var pv *opt.PassViolation

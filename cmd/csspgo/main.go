@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-stale-matching [-min-match-quality Q]] src.ml...
+//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-stale-matching [-min-match-quality Q]] [-trace t.json] [-report r.json] src.ml...
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
-//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N]
+//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N] [-v] [-trace t.json] [-report r.json]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
+//	csspgo report  a.json [b.json] | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
+//
+// -trace writes Chrome trace-event JSON (load it in chrome://tracing or
+// Perfetto); -report writes a machine-readable run manifest that `csspgo
+// report` pretty-prints, validates, or diffs.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"csspgo/internal/machine"
+	"csspgo/internal/obs"
 	"csspgo/internal/opt"
 	"csspgo/internal/pgo"
 	"csspgo/internal/preinline"
@@ -50,6 +56,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "lint":
 		err = cmdLint(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	default:
 		usage()
 	}
@@ -60,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report> [flags]")
 	os.Exit(2)
 }
 
@@ -171,9 +179,14 @@ func cmdBuild(args []string) error {
 	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
 	staleMatch := fs.Bool("stale-matching", false, "recover stale function profiles via anchor matching instead of dropping them")
 	minQuality := fs.Float64("min-match-quality", 0, "anchor-match acceptance threshold (0 = default)")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON of the build pipeline")
+	reportPath := fs.String("report", "", "write a machine-readable run manifest (JSON)")
 	_ = fs.Parse(args)
 
+	obsrv := pgo.NewRunObserver()
+	psp := obsrv.Trace.Span("parse", obs.A("files", fs.NArg()))
 	files, err := parseFiles(fs.Args())
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -184,8 +197,11 @@ func cmdBuild(args []string) error {
 		StaleMatching:         *staleMatch,
 		MinMatchQuality:       *minQuality,
 	}
+	obsrv.ObserveBuild(&cfg)
 	if *profPath != "" {
+		lsp := obsrv.Trace.Span("load_profile")
 		prof, err := loadProfile(*profPath)
+		lsp.End()
 		if err != nil {
 			return err
 		}
@@ -207,6 +223,32 @@ func cmdBuild(args []string) error {
 	fmt.Printf("pipeline: %+v\n", *res.Stats)
 	if *staleMatch {
 		printLadder(res.Stats)
+	}
+	return writeObservability(obsrv, "csspgo build", pgo.BuildConfigEcho(cfg), *tracePath, *reportPath)
+}
+
+// writeObservability flushes a run's trace and manifest to the paths the
+// -trace/-report flags named (either may be empty).
+func writeObservability(o *pgo.RunObserver, tool string, config map[string]any, tracePath, reportPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", tracePath)
+	}
+	if reportPath != "" {
+		if err := o.Report(tool, config).WriteFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote report %s\n", reportPath)
 	}
 	return nil
 }
@@ -259,8 +301,12 @@ func cmdProfile(args []string) error {
 	period := fs.Uint64("period", 797, "sampling period (taken branches)")
 	pebs := fs.Bool("pebs", true, "precise sampling (synchronized stacks)")
 	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical for any value)")
+	verbose := fs.Bool("v", false, "print an unwinder/sampling statistics summary")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON of profile generation")
+	reportPath := fs.String("report", "", "write a machine-readable run manifest (JSON)")
 	_ = fs.Parse(args)
 
+	obsrv := pgo.NewRunObserver()
 	bin, err := loadBin(*binPath)
 	if err != nil {
 		return err
@@ -270,35 +316,54 @@ func cmdProfile(args []string) error {
 	var prof *profdata.Profile
 	switch *kind {
 	case "instr":
+		csp := obsrv.Trace.Span("collect_samples", obs.A("requests", len(reqs)))
 		m := sim.New(bin, sim.DefaultCostParams(), sim.PMUConfig{})
 		for _, req := range reqs {
 			if _, err := m.Run(req...); err != nil {
+				csp.End()
 				return err
 			}
 		}
+		csp.End()
+		m.Stats().Publish(obsrv.Metrics)
 		prof = sampling.GenerateInstrProfile(bin, m.Counters())
+		if *verbose {
+			fmt.Printf("sim: %+v\n", m.Stats())
+		}
 	default:
 		cfg := sim.PMUConfig{
 			SamplePeriod: *period, LBRDepth: 16, PEBS: *pebs,
 			SampleStacks: *kind == "cs", Jitter: true, Seed: 0x5eed,
 		}
+		csp := obsrv.Trace.Span("collect_samples", obs.A("requests", len(reqs)))
 		m := sim.New(bin, sim.DefaultCostParams(), cfg)
 		for _, req := range reqs {
 			if _, err := m.Run(req...); err != nil {
+				csp.End()
 				return err
 			}
 		}
+		csp.End()
+		m.Stats().Publish(obsrv.Metrics)
 		switch *kind {
 		case "cs":
 			opts := sampling.DefaultCSSPGOOptions()
 			opts.Workers = *workers
+			opts.Trace = obsrv.Trace.Root()
+			opts.Metrics = obsrv.Metrics
 			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
 			prof = p
-			fmt.Printf("unwinder: %+v\n", stats)
+			if *verbose {
+				fmt.Println(stats.Summary())
+			}
 		case "probe":
-			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{Workers: *workers})
+			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{
+				Workers: *workers, Trace: obsrv.Trace.Root(), Metrics: obsrv.Metrics,
+			})
 		case "autofdo":
-			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{Workers: *workers})
+			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{
+				Workers: *workers, Trace: obsrv.Trace.Root(), Metrics: obsrv.Metrics,
+			})
 		default:
 			return fmt.Errorf("unknown profile kind %q", *kind)
 		}
@@ -307,7 +372,14 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s: %s (%d bytes)\n", *out, prof, prof.SizeBytes())
-	return nil
+	// The echo records the run's semantic inputs, not its execution strategy:
+	// -workers changes wall time only, so manifests from different machine
+	// parallelism stay diffable.
+	echo := map[string]any{
+		"kind": *kind, "n": *n, "seed": *seed, "bound": *bound,
+		"period": *period, "pebs": *pebs,
+	}
+	return writeObservability(obsrv, "csspgo profile", echo, *tracePath, *reportPath)
 }
 
 func cmdPreinline(args []string) error {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csspgo/internal/obs"
+)
+
+// cmdReport works with run manifests: pretty-print one, diff two (metric
+// deltas with regression highlighting), or validate manifests / Chrome
+// trace files against their schemas (the `make check` observability lane).
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	validate := fs.Bool("validate", false, "only validate the manifest(s) against the run-report schema")
+	validateTrace := fs.String("validate-trace", "", "validate a Chrome trace-event file instead of manifests")
+	minSpans := fs.Int("min-spans", 1, "distinct span names -validate-trace requires")
+	_ = fs.Parse(args)
+
+	if *validateTrace != "" {
+		data, err := os.ReadFile(*validateTrace)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateChromeTrace(data, *minSpans); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid Chrome trace (>= %d distinct spans)\n", *validateTrace, *minSpans)
+		return nil
+	}
+
+	switch fs.NArg() {
+	case 1:
+		rep, err := obs.ReadReport(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *validate {
+			fmt.Printf("%s: valid %s manifest\n", fs.Arg(0), obs.Schema)
+			return nil
+		}
+		fmt.Print(rep.Format())
+		return nil
+	case 2:
+		a, err := obs.ReadReport(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := obs.ReadReport(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		if *validate {
+			fmt.Printf("%s, %s: valid %s manifests\n", fs.Arg(0), fs.Arg(1), obs.Schema)
+			return nil
+		}
+		fmt.Print(obs.DiffReports(a, b))
+		return nil
+	default:
+		return fmt.Errorf("report: want 1 manifest (pretty-print) or 2 (diff), got %d", fs.NArg())
+	}
+}

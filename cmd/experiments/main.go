@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall|driftmatrix|corruption] [-scale N]
+//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall|driftmatrix|corruption] [-scale N] [-report bench.json]
+//
+// -report writes a run manifest with each experiment's headline numbers as
+// experiment.<name>.* gauges and its wall time in the stage table; this is
+// what `make bench` uses to emit BENCH_4.json.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 func main() {
 	runSel := flag.String("run", "all", "comma-separated experiments to run")
 	scale := flag.Int("scale", 2, "request-stream scale factor")
+	reportPath := flag.String("report", "", "write a machine-readable run manifest (JSON)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -53,21 +58,33 @@ func main() {
 		{"corruption", func(s int) (fmt.Stringer, error) { return pgo.RunCorruptionMatrix(s) }},
 	}
 
+	obsrv := pgo.NewRunObserver()
 	ran := 0
 	for _, e := range experiments {
 		if !all && !want[e.name] {
 			continue
 		}
+		sp := obsrv.Trace.Span("experiment." + e.name)
 		res, err := e.run(*scale)
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		pgo.PublishExperiment(obsrv.Metrics, e.name, res)
 		fmt.Println(res)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run=%s\n", *runSel)
 		os.Exit(2)
+	}
+	if *reportPath != "" {
+		rep := obsrv.Report("experiments", map[string]any{"run": *runSel, "scale": *scale})
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report %s\n", *reportPath)
 	}
 }

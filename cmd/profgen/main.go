@@ -89,7 +89,7 @@ func run(binPath, out, kind string, n int, seed, bound int64, period uint64, peb
 			opts.Workers = workers
 			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
 			prof = p
-			fmt.Printf("unwinder: %+v\n", stats)
+			fmt.Println(stats.Summary())
 		case "probe":
 			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{Workers: workers})
 		case "autofdo":

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+
+	"csspgo/internal/obs"
+)
+
+// Metric-namespace lint: the observability layer keeps one unified metric
+// namespace (internal/obs's catalog plus any dynamically extended names).
+// Duplicate registrations — the same name declared twice in the catalog, or
+// registered at run time under conflicting kinds — make run-report diffs
+// ambiguous, so they are flagged here and surfaced by `csspgo lint`.
+
+// CheckMetricNames lints a metric-name list: duplicate names and names
+// violating the dotted-lowercase namespace convention are errors.
+func CheckMetricNames(names []string) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "metric-duplicate", Block: -1,
+				Msg: fmt.Sprintf("metric %q registered more than once", name),
+			})
+			continue
+		}
+		seen[name] = true
+		if !obs.ValidMetricName(name) {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "metric-name", Block: -1,
+				Msg: fmt.Sprintf("metric %q violates the namespace convention (dotted lowercase path, e.g. \"unwind.ranges_truncated\")", name),
+			})
+		}
+	}
+	return diags
+}
+
+// CheckMetricRegistry lints a live registry: kind-conflicting duplicate
+// registrations recorded by the registry plus the name conventions of
+// everything registered.
+func CheckMetricRegistry(reg *obs.Registry) []Diagnostic {
+	var diags []Diagnostic
+	for _, name := range reg.Conflicts() {
+		diags = append(diags, Diagnostic{
+			Sev: SevError, Check: "metric-duplicate", Block: -1,
+			Msg: fmt.Sprintf("metric %q registered under conflicting kinds", name),
+		})
+	}
+	diags = append(diags, CheckMetricNames(reg.Names())...)
+	return diags
+}
+
+// CheckMetricCatalog lints the static catalog (run by `csspgo lint` and the
+// analysis test suite, so a duplicate constant never ships).
+func CheckMetricCatalog() []Diagnostic {
+	return CheckMetricNames(obs.CatalogNames())
+}

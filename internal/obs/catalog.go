@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The unified metric namespace. Every pipeline publisher records under a
+// constant declared here, so the whole namespace is auditable in one place
+// and the analysis metric lint can flag duplicate or malformed
+// registrations statically.
+//
+// Naming conventions:
+//   - dotted lowercase path: <subsystem>.<area>.<metric> (at least one dot)
+//   - characters: [a-z0-9_] per segment
+//   - wall-clock timing metrics end in "_ns" and are zeroed by
+//     Report.Normalize (they are the only nondeterministic metrics)
+const (
+	// internal/sampling — virtual unwinder (Algorithm 1).
+	MUnwindSamplesAccepted  = "unwind.samples_accepted"
+	MUnwindSamplesDropped   = "unwind.samples_dropped"
+	MUnwindRanges           = "unwind.ranges"
+	MUnwindRangesTruncated  = "unwind.ranges_truncated"
+	MUnwindSkidAdjusted     = "unwind.skid_adjusted"
+	MUnwindMissingFrames    = "unwind.missing_frame_events"
+	MUnwindEventsRecovered  = "unwind.events_recovered"
+	MUnwindFramesRecovered  = "unwind.frames_recovered"
+	MShardWorkerBusyNS      = "shard.worker_busy_ns"
+	MShardTailGraphBuildNS  = "shard.tailgraph_build_ns"
+	MProfileGenSamples      = "profilegen.samples"
+	MProfileGenFuncProfiles = "profilegen.func_profiles"
+	MProfileGenContexts     = "profilegen.contexts"
+
+	// internal/opt — profile annotation.
+	MAnnotateFuncs     = "annotate.funcs_annotated"
+	MAnnotateStale     = "annotate.funcs_stale"
+	MAnnotateNoProfile = "annotate.funcs_no_profile"
+
+	// internal/stale — anchor matcher and the degradation ladder.
+	MStaleMatchAttempts    = "stale.match.attempts"
+	MStaleMatchAccepted    = "stale.match.accepted"
+	MStaleMatchRejected    = "stale.match.rejected_low_quality"
+	MStaleMatchedFuncs     = "stale.ladder.matched_funcs"
+	MStaleFlatFallback     = "stale.ladder.flat_fallback_funcs"
+	MStaleMatchedContexts  = "stale.ladder.matched_contexts"
+	MStaleRecoveredProbes  = "stale.recovered_probes"
+	MStaleMeanMatchQuality = "stale.mean_match_quality"
+
+	// internal/opt — optimization pipeline.
+	MOptInlineSample      = "opt.inline.sample_decisions"
+	MOptInlineStatic      = "opt.inline.static_decisions"
+	MOptICPromotions      = "opt.icp.promotions"
+	MOptInferenceAdjusted = "opt.inference.adjusted"
+	MOptCFGMerged         = "opt.simplify.merged"
+	MOptCFGEmptyRemoved   = "opt.simplify.empty_removed"
+	MOptTailMerges        = "opt.simplify.tail_merges"
+	MOptTailMergeBlocked  = "opt.simplify.tail_merge_blocked"
+	MOptIfConverts        = "opt.ifconvert.converted"
+	MOptIfConvertBlocked  = "opt.ifconvert.blocked"
+	MOptUnrolled          = "opt.unroll.loops"
+	MOptLICMHoisted       = "opt.licm.hoisted"
+	MOptDCERemoved        = "opt.dce.removed"
+	MOptTailCalls         = "opt.tce.tail_calls"
+	MOptSplitBlocks       = "opt.split.blocks"
+	MOptLayoutFuncs       = "opt.layout.funcs"
+
+	// internal/profdata — lenient profile readers.
+	MProfdataSkippedRecords = "profdata.read.skipped_records"
+	MProfdataSkippedLines   = "profdata.read.skipped_lines"
+
+	// internal/sim — simulated execution.
+	MSimCycles        = "sim.cycles"
+	MSimInstructions  = "sim.instructions"
+	MSimTakenBranches = "sim.taken_branches"
+	MSimMispredicts   = "sim.mispredicts"
+	MSimICacheMisses  = "sim.icache_misses"
+	MSimSamples       = "sim.samples"
+
+	// internal/quality — profile-quality scores.
+	MQualityBlockOverlap = "quality.block_overlap"
+)
+
+// CatalogNames lists every statically declared metric name (dynamic names,
+// e.g. per-workload experiment gauges, extend the namespace at run time and
+// are validated structurally by the report schema instead).
+func CatalogNames() []string {
+	return []string{
+		MUnwindSamplesAccepted, MUnwindSamplesDropped, MUnwindRanges,
+		MUnwindRangesTruncated, MUnwindSkidAdjusted, MUnwindMissingFrames,
+		MUnwindEventsRecovered, MUnwindFramesRecovered,
+		MShardWorkerBusyNS, MShardTailGraphBuildNS,
+		MProfileGenSamples, MProfileGenFuncProfiles, MProfileGenContexts,
+		MAnnotateFuncs, MAnnotateStale, MAnnotateNoProfile,
+		MStaleMatchAttempts, MStaleMatchAccepted, MStaleMatchRejected,
+		MStaleMatchedFuncs, MStaleFlatFallback, MStaleMatchedContexts,
+		MStaleRecoveredProbes, MStaleMeanMatchQuality,
+		MOptInlineSample, MOptInlineStatic, MOptICPromotions,
+		MOptInferenceAdjusted, MOptCFGMerged, MOptCFGEmptyRemoved,
+		MOptTailMerges, MOptTailMergeBlocked, MOptIfConverts,
+		MOptIfConvertBlocked, MOptUnrolled, MOptLICMHoisted,
+		MOptDCERemoved, MOptTailCalls, MOptSplitBlocks, MOptLayoutFuncs,
+		MProfdataSkippedRecords, MProfdataSkippedLines,
+		MSimCycles, MSimInstructions, MSimTakenBranches,
+		MSimMispredicts, MSimICacheMisses, MSimSamples,
+		MQualityBlockOverlap,
+	}
+}
+
+// metricNameRE is the canonical metric-name shape: dotted lowercase path
+// with at least two segments.
+var metricNameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+
+// ValidMetricName reports whether name follows the namespace conventions.
+func ValidMetricName(name string) bool { return metricNameRE.MatchString(name) }
+
+// IsTimingMetric reports whether name records wall-clock time (the "_ns"
+// suffix convention); timing metrics are zeroed by Report.Normalize because
+// they are the only nondeterministic part of a run report.
+func IsTimingMetric(name string) bool { return strings.HasSuffix(name, "_ns") }

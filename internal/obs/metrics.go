@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric's type.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry is the unified metric namespace for one run. Handles are
+// get-or-create: the first registration of a name fixes its kind, and a
+// later registration under a different kind is recorded as a conflict (the
+// analysis metric lint surfaces those) while the offending caller receives
+// a detached handle so the pipeline keeps running.
+//
+// All handles are safe for concurrent use; counters are atomic so shard
+// workers aggregate race-free under -race.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	kinds     map[string]Kind
+	conflicts map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		kinds:     map[string]Kind{},
+		conflicts: map[string]bool{},
+	}
+}
+
+// Counter is a monotonically accumulating integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add accumulates n (no-op on a nil handle).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last/representative-value metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set records v (no-op on a nil handle).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram summarizes a distribution of integer observations
+// (count/sum/min/max — enough for run reports and diffs).
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one value (no-op on a nil handle).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, taken := r.kinds[name]; taken {
+		r.conflicts[name] = true
+		return &Counter{} // detached
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.kinds[name] = KindCounter
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, taken := r.kinds[name]; taken {
+		r.conflicts[name] = true
+		return &Gauge{}
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.kinds[name] = KindGauge
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if _, taken := r.kinds[name]; taken {
+		r.conflicts[name] = true
+		return &Histogram{}
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	r.kinds[name] = KindHistogram
+	return h
+}
+
+// Names lists every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.kinds))
+	for n := range r.kinds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Conflicts lists names that were registered under more than one kind
+// (sorted) — duplicate registrations the metric lint flags.
+func (r *Registry) Conflicts() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.conflicts))
+	for n := range r.conflicts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricValue is one metric's exported state. Exactly the fields for its
+// kind are meaningful.
+type MetricValue struct {
+	Kind  Kind    `json:"kind"`
+	Value int64   `json:"value,omitempty"` // counter total
+	Gauge float64 `json:"gauge,omitempty"`
+	Count int64   `json:"count,omitempty"` // histogram
+	Sum   int64   `json:"sum,omitempty"`
+	Min   int64   `json:"min,omitempty"`
+	Max   int64   `json:"max,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry, keyed by metric name.
+// JSON-marshaling a Snapshot is deterministic (map keys sort).
+type Snapshot map[string]MetricValue
+
+// Snapshot exports every registered metric. Zero-valued counters and
+// histograms are included, so a run's metric *set* is stable regardless of
+// what fired.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, len(r.kinds))
+	for n, c := range r.counters {
+		out[n] = MetricValue{Kind: KindCounter, Value: c.Value()}
+	}
+	for n, g := range r.gauges {
+		out[n] = MetricValue{Kind: KindGauge, Gauge: g.Value()}
+	}
+	for n, h := range r.hists {
+		h.mu.Lock()
+		out[n] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// Merge folds another snapshot into s and returns s: counters and histogram
+// totals sum, gauges keep the maximum (the shard-aggregation reduction;
+// commutative, so merge order does not matter).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	for name, mv := range o {
+		cur, ok := s[name]
+		if !ok {
+			s[name] = mv
+			continue
+		}
+		if cur.Kind != mv.Kind {
+			// Conflicting kinds across snapshots: keep the receiver's view.
+			continue
+		}
+		switch mv.Kind {
+		case KindCounter:
+			cur.Value += mv.Value
+		case KindGauge:
+			if mv.Gauge > cur.Gauge {
+				cur.Gauge = mv.Gauge
+			}
+		case KindHistogram:
+			if mv.Count > 0 {
+				if cur.Count == 0 || mv.Min < cur.Min {
+					cur.Min = mv.Min
+				}
+				if cur.Count == 0 || mv.Max > cur.Max {
+					cur.Max = mv.Max
+				}
+				cur.Count += mv.Count
+				cur.Sum += mv.Sum
+			}
+		}
+		s[name] = cur
+	}
+	return s
+}

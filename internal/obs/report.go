@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Schema identifies the run-report manifest format. Bump the version on
+// incompatible changes; ValidateReport pins it.
+const Schema = "csspgo-run-report/v1"
+
+// Stage is one pipeline stage's wall time, keyed by the span's slash-joined
+// path. Stages with the same path (parallel shard workers) aggregate: their
+// durations sum and Count says how many spans folded in.
+type Stage struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	Count  int    `json:"count"`
+}
+
+// Report is the machine-readable run manifest: what was built (config), how
+// long each stage took (stages), every metric the run published, and any
+// profile-quality scores. Encoding is deterministic — after Normalize, two
+// identical runs produce byte-identical manifests for any worker count.
+type Report struct {
+	Schema  string             `json:"schema"`
+	Tool    string             `json:"tool"`
+	Config  map[string]any     `json:"config,omitempty"`
+	Stages  []Stage            `json:"stages,omitempty"`
+	Metrics Snapshot           `json:"metrics,omitempty"`
+	Quality map[string]float64 `json:"quality,omitempty"`
+}
+
+// NewReport starts a manifest for the named tool invocation.
+func NewReport(tool string) *Report {
+	return &Report{Schema: Schema, Tool: tool, Config: map[string]any{}, Metrics: Snapshot{}}
+}
+
+// AddTrace folds a trace into the stage table: one Stage per distinct span
+// path, durations summed, sorted by path. Aggregating by path (rather than
+// listing spans) keeps the stage *set* identical between serial and
+// parallel runs of the same pipeline.
+func (r *Report) AddTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	agg := map[string]*Stage{}
+	for _, f := range flatten(t.snapshot()) {
+		st := agg[f.path]
+		if st == nil {
+			st = &Stage{Name: f.path}
+			agg[f.path] = st
+		}
+		st.WallNS += int64(f.s.dur)
+		st.Count++
+	}
+	paths := make([]string, 0, len(agg))
+	for p := range agg {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		r.Stages = append(r.Stages, *agg[p])
+	}
+}
+
+// AddMetrics merges a registry snapshot into the manifest.
+func (r *Report) AddMetrics(reg *Registry) {
+	if r.Metrics == nil {
+		r.Metrics = Snapshot{}
+	}
+	r.Metrics.Merge(reg.Snapshot())
+}
+
+// AddQuality records one profile-quality score (internal/quality).
+func (r *Report) AddQuality(name string, score float64) {
+	if r.Quality == nil {
+		r.Quality = map[string]float64{}
+	}
+	r.Quality[name] = score
+}
+
+// Normalize zeroes every nondeterministic field — stage wall times and
+// stage counts that depend only on parallelism, plus "_ns" timing metrics —
+// so byte-identity checks compare exactly the deterministic remainder.
+func (r *Report) Normalize() {
+	for i := range r.Stages {
+		r.Stages[i].WallNS = 0
+		r.Stages[i].Count = 0
+	}
+	for name, mv := range r.Metrics {
+		if IsTimingMetric(name) {
+			r.Metrics[name] = MetricValue{Kind: mv.Kind}
+		}
+	}
+}
+
+// Encode renders the manifest as deterministic, indented JSON (object keys
+// sort; a trailing newline makes the file diff-friendly).
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile encodes the manifest to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// DecodeReport parses a manifest, validating it first.
+func DecodeReport(data []byte) (*Report, error) {
+	if err := ValidateReport(data); err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: report: %w", err)
+	}
+	return &r, nil
+}
+
+// ReadReport loads and validates a manifest file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ValidateReport checks a manifest against the v1 schema: schema pin, tool
+// string, well-formed stage entries, metric names following the namespace
+// conventions with known kinds, and numeric quality scores.
+func ValidateReport(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("obs: report: not valid JSON: %w", err)
+	}
+	var schema string
+	if err := json.Unmarshal(raw["schema"], &schema); err != nil || schema != Schema {
+		return fmt.Errorf("obs: report: schema %q, want %q", string(raw["schema"]), Schema)
+	}
+	var tool string
+	if err := json.Unmarshal(raw["tool"], &tool); err != nil || tool == "" {
+		return fmt.Errorf("obs: report: missing or empty \"tool\"")
+	}
+	if msg, ok := raw["stages"]; ok {
+		var stages []Stage
+		if err := json.Unmarshal(msg, &stages); err != nil {
+			return fmt.Errorf("obs: report: bad \"stages\": %w", err)
+		}
+		seen := map[string]bool{}
+		for _, st := range stages {
+			if st.Name == "" {
+				return fmt.Errorf("obs: report: stage with empty name")
+			}
+			if st.WallNS < 0 || st.Count < 0 {
+				return fmt.Errorf("obs: report: stage %q: negative wall_ns/count", st.Name)
+			}
+			if seen[st.Name] {
+				return fmt.Errorf("obs: report: duplicate stage %q", st.Name)
+			}
+			seen[st.Name] = true
+		}
+	}
+	if msg, ok := raw["metrics"]; ok {
+		var metrics Snapshot
+		if err := json.Unmarshal(msg, &metrics); err != nil {
+			return fmt.Errorf("obs: report: bad \"metrics\": %w", err)
+		}
+		for name, mv := range metrics {
+			if !ValidMetricName(name) {
+				return fmt.Errorf("obs: report: metric %q: malformed name (want dotted lowercase path)", name)
+			}
+			switch mv.Kind {
+			case KindCounter, KindGauge, KindHistogram:
+			default:
+				return fmt.Errorf("obs: report: metric %q: unknown kind %q", name, mv.Kind)
+			}
+		}
+	}
+	if msg, ok := raw["quality"]; ok {
+		var quality map[string]float64
+		if err := json.Unmarshal(msg, &quality); err != nil {
+			return fmt.Errorf("obs: report: bad \"quality\": %w", err)
+		}
+	}
+	return nil
+}
+
+// Format pretty-prints one manifest for humans.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run report: %s (%s)\n", r.Tool, r.Schema)
+	if len(r.Config) > 0 {
+		sb.WriteString("config:\n")
+		for _, k := range sortedKeys(r.Config) {
+			fmt.Fprintf(&sb, "  %-28s %v\n", k, r.Config[k])
+		}
+	}
+	if len(r.Stages) > 0 {
+		sb.WriteString("stages:\n")
+		for _, st := range r.Stages {
+			fmt.Fprintf(&sb, "  %-44s %12.3fms  x%d\n", st.Name, float64(st.WallNS)/1e6, st.Count)
+		}
+	}
+	if len(r.Metrics) > 0 {
+		sb.WriteString("metrics:\n")
+		for _, name := range sortedKeys(r.Metrics) {
+			fmt.Fprintf(&sb, "  %-44s %s\n", name, formatMetric(r.Metrics[name]))
+		}
+	}
+	if len(r.Quality) > 0 {
+		sb.WriteString("quality:\n")
+		for _, name := range sortedKeys(r.Quality) {
+			fmt.Fprintf(&sb, "  %-44s %.4f\n", name, r.Quality[name])
+		}
+	}
+	return sb.String()
+}
+
+func formatMetric(mv MetricValue) string {
+	switch mv.Kind {
+	case KindGauge:
+		return fmt.Sprintf("%.4g", mv.Gauge)
+	case KindHistogram:
+		return fmt.Sprintf("count=%d sum=%d min=%d max=%d", mv.Count, mv.Sum, mv.Min, mv.Max)
+	default:
+		return fmt.Sprintf("%d", mv.Value)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// regressionThreshold: a stage slower by more than this fraction, or a
+// quality score lower by more than this fraction, is highlighted.
+const regressionThreshold = 0.10
+
+// DiffReports renders the delta between two manifests: per-stage wall-time
+// changes, per-metric deltas, and quality-score changes, with regressions
+// (markedly slower stages, lower quality) highlighted.
+func DiffReports(a, b *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run report diff: %s -> %s\n", a.Tool, b.Tool)
+
+	aStages, bStages := stageMap(a), stageMap(b)
+	if len(aStages) > 0 || len(bStages) > 0 {
+		sb.WriteString("stages (wall ms):\n")
+		for _, name := range unionKeys(aStages, bStages) {
+			av, bv := float64(aStages[name].WallNS)/1e6, float64(bStages[name].WallNS)/1e6
+			mark := ""
+			if av > 0 && bv > av*(1+regressionThreshold) {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(&sb, "  %-44s %12.3f -> %12.3f  %s%s\n", name, av, bv, pctChange(av, bv), mark)
+		}
+	}
+	if len(a.Metrics) > 0 || len(b.Metrics) > 0 {
+		sb.WriteString("metrics:\n")
+		changed := 0
+		for _, name := range unionKeys(a.Metrics, b.Metrics) {
+			av, bv := metricScalar(a.Metrics[name]), metricScalar(b.Metrics[name])
+			if av == bv {
+				continue
+			}
+			changed++
+			fmt.Fprintf(&sb, "  %-44s %14.6g -> %14.6g  %s\n", name, av, bv, pctChange(av, bv))
+		}
+		if changed == 0 {
+			sb.WriteString("  (no metric changed)\n")
+		}
+	}
+	if len(a.Quality) > 0 || len(b.Quality) > 0 {
+		sb.WriteString("quality:\n")
+		for _, name := range unionKeys(a.Quality, b.Quality) {
+			av, bv := a.Quality[name], b.Quality[name]
+			mark := ""
+			if bv < av*(1-regressionThreshold) {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(&sb, "  %-44s %.4f -> %.4f  %s%s\n", name, av, bv, pctChange(av, bv), mark)
+		}
+	}
+	return sb.String()
+}
+
+func stageMap(r *Report) map[string]Stage {
+	out := map[string]Stage{}
+	for _, st := range r.Stages {
+		out[st.Name] = st
+	}
+	return out
+}
+
+// metricScalar reduces a metric value to one comparable number (histograms
+// compare by sum).
+func metricScalar(mv MetricValue) float64 {
+	switch mv.Kind {
+	case KindGauge:
+		return mv.Gauge
+	case KindHistogram:
+		return float64(mv.Sum)
+	default:
+		return float64(mv.Value)
+	}
+}
+
+func pctChange(a, b float64) string {
+	if a == b {
+		return "       ="
+	}
+	if a == 0 || math.IsInf(b/a, 0) {
+		return "     new"
+	}
+	return fmt.Sprintf("%+7.1f%%", 100*(b-a)/a)
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	set := map[string]bool{}
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,310 @@
+// Package obs is the pipeline's observability layer: a span-based tracer
+// covering every stage from parse to codegen (exportable as a human tree or
+// Chrome trace-event JSON), a unified metrics registry the per-subsystem
+// Stats structs publish into, and a deterministic machine-readable run
+// report that `csspgo report` pretty-prints and diffs.
+//
+// Everything is nil-safe: a nil *Trace, *Span, *Registry or metric handle
+// turns every method into a no-op, so pipeline code instruments
+// unconditionally and pays nothing when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values must marshal to JSON
+// deterministically (strings, integers, floats, bools).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Trace is one run's span tree. All span operations are safe for concurrent
+// use (shard workers open spans on their own goroutines).
+type Trace struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+	root  *Span
+}
+
+// NewTrace starts a trace whose epoch is now.
+func NewTrace() *Trace { return NewTraceWithClock(time.Now) }
+
+// NewTraceWithClock starts a trace on an injected clock (deterministic
+// tests).
+func NewTraceWithClock(now func() time.Time) *Trace {
+	t := &Trace{now: now, epoch: now()}
+	t.root = &Span{t: t, name: ""}
+	return t
+}
+
+// Span is one timed region of the pipeline. End it exactly once; nested
+// spans are opened with Span.Span.
+type Span struct {
+	t        *Trace
+	name     string
+	attrs    []Attr
+	tid      int // Chrome trace lane; 0 = main, workers get their own
+	start    time.Duration
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// Span opens a top-level span.
+func (t *Trace) Span(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root.Span(name, attrs...)
+}
+
+// Root returns the implicit root span (never exported itself): the parent
+// to hand to a subsystem that should open its spans at the top level.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Span opens a child span. A nil receiver yields a nil (no-op) span, so
+// callers never need to guard.
+func (s *Span) Span(name string, attrs ...Attr) *Span {
+	return s.child(name, -1, attrs)
+}
+
+// WorkerSpan opens a child span on a worker's own trace lane, so parallel
+// shard workers render side by side in chrome://tracing.
+func (s *Span) WorkerSpan(name string, worker int, attrs ...Attr) *Span {
+	return s.child(name, worker+1, attrs)
+}
+
+func (s *Span) child(name string, tid int, attrs []Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{t: t, name: name, attrs: attrs, tid: s.tid, start: t.now().Sub(t.epoch)}
+	if tid >= 0 {
+		c.tid = tid
+	}
+	s.children = append(s.children, c)
+	return c
+}
+
+// SetAttr annotates an open span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.ended {
+		s.dur = s.t.now().Sub(s.t.epoch) - s.start
+		s.ended = true
+	}
+}
+
+// Name returns the span's name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// snapshotLocked deep-copies the span tree under t.mu, closing still-open
+// spans at the current clock reading, and sorting siblings by (start, name)
+// so concurrently appended worker spans export in a stable order.
+func (t *Trace) snapshot() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now().Sub(t.epoch)
+	var cp func(s *Span) *Span
+	cp = func(s *Span) *Span {
+		out := &Span{name: s.name, attrs: append([]Attr(nil), s.attrs...),
+			tid: s.tid, start: s.start, dur: s.dur, ended: s.ended}
+		if !s.ended {
+			out.dur = now - s.start
+		}
+		for _, c := range s.children {
+			out.children = append(out.children, cp(c))
+		}
+		sort.SliceStable(out.children, func(i, j int) bool {
+			a, b := out.children[i], out.children[j]
+			if a.start != b.start {
+				return a.start < b.start
+			}
+			return a.name < b.name
+		})
+		return out
+	}
+	return cp(t.root)
+}
+
+// flatSpan is one exported span with its slash-joined path.
+type flatSpan struct {
+	path string
+	s    *Span
+}
+
+func flatten(root *Span) []flatSpan {
+	var out []flatSpan
+	var walk func(prefix string, s *Span)
+	walk = func(prefix string, s *Span) {
+		for _, c := range s.children {
+			path := c.name
+			if prefix != "" {
+				path = prefix + "/" + c.name
+			}
+			out = append(out, flatSpan{path: path, s: c})
+			walk(path, c)
+		}
+	}
+	walk("", root)
+	return out
+}
+
+// SpanPaths returns every recorded span's slash-joined path, in export
+// order (reports and tests use this to assert pipeline coverage).
+func (t *Trace) SpanPaths() []string {
+	if t == nil {
+		return nil
+	}
+	flat := flatten(t.snapshot())
+	out := make([]string, len(flat))
+	for i, f := range flat {
+		out[i] = f.path
+	}
+	return out
+}
+
+// Tree renders the span tree for humans, one span per line with durations
+// and attributes.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		for _, c := range s.children {
+			fmt.Fprintf(&sb, "%s%-*s %12s%s\n",
+				strings.Repeat("  ", depth), 40-2*depth, c.name,
+				c.dur.Round(time.Microsecond), attrString(c.attrs))
+			walk(c, depth+1)
+		}
+	}
+	walk(t.snapshot(), 0)
+	return sb.String()
+}
+
+func attrString(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Timestamps
+// and durations are microseconds, per the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome exports the trace as Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	flat := flatten(t.snapshot())
+	ct := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(flat))}
+	for _, f := range flat {
+		ev := chromeEvent{
+			Name: f.s.name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(f.s.start) / float64(time.Microsecond),
+			Dur:  float64(f.s.dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  f.s.tid + 1,
+		}
+		if len(f.s.attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range f.s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ct)
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// export with at least minDistinct distinct span names (the `make check`
+// observability lane and the acceptance tests use it).
+func ValidateChromeTrace(data []byte, minDistinct int) error {
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return fmt.Errorf("obs: trace: not valid JSON: %w", err)
+	}
+	names := map[string]bool{}
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("obs: trace: event %d has no name", i)
+		}
+		if ev.Ph != "X" {
+			return fmt.Errorf("obs: trace: event %d (%s): phase %q, want \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return fmt.Errorf("obs: trace: event %d (%s): negative ts/dur", i, ev.Name)
+		}
+		names[ev.Name] = true
+	}
+	if len(names) < minDistinct {
+		return fmt.Errorf("obs: trace: %d distinct span name(s), want >= %d", len(names), minDistinct)
+	}
+	return nil
+}

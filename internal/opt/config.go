@@ -9,6 +9,7 @@ package opt
 
 import (
 	"csspgo/internal/ir"
+	"csspgo/internal/obs"
 	"csspgo/internal/profdata"
 )
 
@@ -109,6 +110,12 @@ type Config struct {
 	// with a *PassViolation naming the offending pass and function, with a
 	// before/after IR diff of that function.
 	VerifyEach bool
+	// Trace receives one child span per executed pass ("opt.<pass>"), in
+	// checked and unchecked mode alike (nil = no tracing).
+	Trace *obs.Span
+	// Metrics is the unified metric registry the pipeline's Stats publish
+	// into at the end of Optimize (nil = no publication).
+	Metrics *obs.Registry
 
 	// testCorruptAfter lets tests of checked mode inject a deliberate
 	// violation right after the named pass runs and before its check fires,

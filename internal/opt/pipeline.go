@@ -23,11 +23,15 @@ type runner struct {
 	check *checker
 }
 
-// run executes one pass under its registered identity. In checked mode the
+// run executes one pass under its registered identity, opening an
+// "opt.<pass>" span on the configured trace (so per-pass timings are
+// recorded whether or not checked mode is on). In checked mode the
 // structural verifier and the analysis suite run afterwards, and the first
 // error-severity finding aborts the pipeline with a *PassViolation naming
 // this pass.
 func (r *runner) run(id PassID, fn func()) error {
+	sp := r.cfg.Trace.Span("opt." + id.name)
+	defer sp.End()
 	fn()
 	if r.cfg.testCorruptAfter != nil {
 		if corrupt := r.cfg.testCorruptAfter[id.name]; corrupt != nil {
@@ -77,6 +81,7 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 		}
 		if err := r.run(annotatePass, func() {
 			a := AnnotateWithMatcher(p, prof, matcher)
+			a.Publish(cfg.Metrics)
 			st.AnnotatedFuncs = a.Annotated
 			st.StaleFuncs = a.Stale
 			st.MatchedFuncs = a.Matched
@@ -258,6 +263,10 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 	}
 	if err := p.Verify(); err != nil {
 		return st, err
+	}
+	st.Publish(cfg.Metrics)
+	if matcher != nil {
+		matcher.Stats.Publish(cfg.Metrics)
 	}
 	return st, nil
 }

@@ -13,6 +13,7 @@ import (
 	"csspgo/internal/ir"
 	"csspgo/internal/irgen"
 	"csspgo/internal/machine"
+	"csspgo/internal/obs"
 	"csspgo/internal/opt"
 	"csspgo/internal/preinline"
 	"csspgo/internal/probe"
@@ -65,6 +66,11 @@ type BuildConfig struct {
 	// MinMatchQuality overrides the matcher's acceptance threshold (0 =
 	// the stale package default).
 	MinMatchQuality float64
+	// Trace receives the build's span tree (irgen → probes → per-opt-pass →
+	// codegen). Nil = no tracing.
+	Trace *obs.Trace
+	// Metrics receives every stage's metric publication. Nil = none.
+	Metrics *obs.Registry
 }
 
 // BuildResult bundles a compilation's artifacts.
@@ -78,12 +84,18 @@ type BuildResult struct {
 // Build parses nothing — it consumes already-parsed files — lowers them,
 // optionally inserts probes, optimizes per the config and emits a binary.
 func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
+	bsp := cfg.Trace.Span("build", obs.A("files", len(files)))
+	defer bsp.End()
+	sp := bsp.Span("irgen")
 	prog, err := irgen.Lower(files...)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pgo: lower: %w", err)
 	}
 	if cfg.Probes {
+		sp = bsp.Span("probe_insert")
 		probe.InsertProgram(prog)
+		sp.End()
 	}
 	fresh := ir.CloneProgram(prog)
 
@@ -100,6 +112,7 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 		Layout:                cfg.Profile != nil,
 		Split:                 cfg.Profile != nil,
 		VerifyEach:            cfg.VerifyEach,
+		Metrics:               cfg.Metrics,
 	}
 	switch {
 	case cfg.Instrument:
@@ -119,14 +132,19 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 	}
 	ocfg.SelectiveInlining = cfg.UsePreInlineDecisions
 
+	osp := bsp.Span("optimize")
+	ocfg.Trace = osp
 	stats, err := opt.Optimize(prog, ocfg)
+	osp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pgo: optimize: %w", err)
 	}
+	sp = bsp.Span("codegen")
 	bin, err := codegen.Lower(prog, codegen.Options{
 		Instrument:     cfg.Instrument,
 		StripProbeMeta: cfg.StripProbeMeta || !cfg.Probes,
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pgo: codegen: %w", err)
 	}
@@ -143,6 +161,12 @@ type ProfileConfig struct {
 	// 1 = serial). Serial and parallel generation produce byte-identical
 	// profiles; this only trades wall-clock for cores.
 	Workers int
+	// Trace receives the collection + generation span tree (sim run, shard
+	// workers, unwind, merge). Nil = no tracing.
+	Trace *obs.Trace
+	// Metrics receives the sim.*, unwind.*, shard.* and profilegen.*
+	// metrics. Nil = none.
+	Metrics *obs.Registry
 }
 
 // DefaultProfileConfig returns production-like sampling settings.
@@ -151,16 +175,30 @@ func DefaultProfileConfig() ProfileConfig {
 }
 
 // csspgoOptions derives the CS profile-generation options from a profile
-// config (experiment drivers thread their worker count through here).
+// config (experiment drivers thread their worker count and observability
+// sinks through here).
 func csspgoOptions(pc ProfileConfig) sampling.CSSPGOOptions {
 	opts := sampling.DefaultCSSPGOOptions()
 	opts.Workers = pc.Workers
+	opts.Trace = pc.Trace.Root()
+	opts.Metrics = pc.Metrics
 	return opts
+}
+
+// flatOptions derives flat profile-generation options the same way.
+func flatOptions(pc ProfileConfig) sampling.FlatOptions {
+	return sampling.FlatOptions{
+		Workers: pc.Workers,
+		Trace:   pc.Trace.Root(),
+		Metrics: pc.Metrics,
+	}
 }
 
 // CollectSamples runs the request stream on the binary under the PMU and
 // returns samples plus execution stats.
 func CollectSamples(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]sim.Sample, sim.Stats, error) {
+	sp := pc.Trace.Span("collect_samples", obs.A("requests", len(requests)))
+	defer sp.End()
 	cfg := sim.PMUConfig{
 		SamplePeriod: pc.Period,
 		LBRDepth:     16,
@@ -175,7 +213,9 @@ func CollectSamples(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]
 			return nil, sim.Stats{}, err
 		}
 	}
-	return m.Samples(), m.Stats(), nil
+	stats := m.Stats()
+	stats.Publish(pc.Metrics)
+	return m.Samples(), stats, nil
 }
 
 // CollectCounters runs the request stream on an instrumented binary and
@@ -231,7 +271,7 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 		if err != nil {
 			return nil, nil, err
 		}
-		prof := sampling.GenerateAutoFDOOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
+		prof := sampling.GenerateAutoFDOOpts(base.Bin, samples, flatOptions(pc))
 		res, err := Build(files, BuildConfig{Probes: false, Profile: prof})
 		return res, prof, err
 
@@ -246,7 +286,7 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 		if err != nil {
 			return nil, nil, err
 		}
-		prof := sampling.GenerateProbeProfileOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers})
+		prof := sampling.GenerateProbeProfileOpts(base.Bin, samples, flatOptions(pc))
 		res, err := Build(files, BuildConfig{Probes: true, Profile: prof})
 		return res, prof, err
 
@@ -305,7 +345,7 @@ func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*pr
 		if err != nil {
 			return nil, err
 		}
-		return sampling.GenerateAutoFDOOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers}), nil
+		return sampling.GenerateAutoFDOOpts(base.Bin, samples, flatOptions(pc)), nil
 	case ProbeOnly:
 		pc := DefaultProfileConfig()
 		pc.Stacks = false
@@ -313,7 +353,7 @@ func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*pr
 		if err != nil {
 			return nil, err
 		}
-		return sampling.GenerateProbeProfileOpts(base.Bin, samples, sampling.FlatOptions{Workers: pc.Workers}), nil
+		return sampling.GenerateProbeProfileOpts(base.Bin, samples, flatOptions(pc)), nil
 	case FullCS:
 		pc := DefaultProfileConfig()
 		samples, _, err := CollectSamples(base.Bin, train, pc)

@@ -1,0 +1,174 @@
+package pgo
+
+import (
+	"bytes"
+	"testing"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/sampling"
+	"csspgo/internal/workloads"
+)
+
+// buildManifest runs one full observed build (train profile included) and
+// returns the normalized, encoded run manifest.
+func buildManifest(t *testing.T) []byte {
+	t.Helper()
+	w, err := workloads.Load("adranker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(w.Files, BuildConfig{Probes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err := CollectSamples(base.Bin, w.Train, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(ProfileConfig{Workers: 1}))
+
+	o := NewRunObserver()
+	cfg := BuildConfig{Probes: true, Profile: prof}
+	o.ObserveBuild(&cfg)
+	if _, err := Build(w.Files, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := o.Report("csspgo build", BuildConfigEcho(cfg))
+	rep.Normalize()
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// Two identical observed builds must produce byte-identical normalized
+// manifests — the determinism contract `csspgo report` diffs rely on.
+func TestRunManifestByteIdenticalAcrossRuns(t *testing.T) {
+	a := buildManifest(t)
+	b := buildManifest(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("normalized manifests differ across identical builds:\n%s\n----\n%s", a, b)
+	}
+}
+
+// Serial and parallel profile generation must agree on the normalized
+// manifest: same stage set, same metrics, with only wall times (zeroed by
+// Normalize) allowed to differ.
+func TestRunManifestByteIdenticalSerialVsParallel(t *testing.T) {
+	w, err := workloads.Load("adranker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(w.Files, BuildConfig{Probes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) []byte {
+		o := NewRunObserver()
+		pc := DefaultProfileConfig()
+		pc.Workers = workers
+		o.ObserveProfile(&pc)
+		samples, _, err := CollectSamples(base.Bin, w.Train, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, stats := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc)); stats.Samples == 0 {
+			t.Fatal("no samples unwound")
+		}
+		rep := o.Report("csspgo profile", map[string]any{"workload": "adranker"})
+		rep.Normalize()
+		data, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 0} {
+		if parallel := run(workers); !bytes.Equal(serial, parallel) {
+			t.Fatalf("workers=%d normalized manifest differs from serial:\n%s\n----\n%s",
+				workers, serial, parallel)
+		}
+	}
+}
+
+// An observed PGO build must cover the pipeline with at least the acceptance
+// floor of 8 distinct spans and export a valid Chrome trace.
+func TestBuildTraceCoverage(t *testing.T) {
+	w, err := workloads.Load("adranker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(w.Files, BuildConfig{Probes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _, err := CollectSamples(base.Bin, w.Train, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(ProfileConfig{Workers: 1}))
+
+	o := NewRunObserver()
+	cfg := BuildConfig{Probes: true, Profile: prof}
+	o.ObserveBuild(&cfg)
+	if _, err := Build(w.Files, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"build", "build/irgen", "build/probe_insert", "build/optimize",
+		"build/optimize/opt.annotate", "build/optimize/opt.inference", "build/codegen"}
+	paths := map[string]bool{}
+	for _, p := range o.Trace.SpanPaths() {
+		paths[p] = true
+	}
+	for _, p := range want {
+		if !paths[p] {
+			t.Errorf("pipeline span %q missing (got %v)", p, o.Trace.SpanPaths())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := o.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes(), 8); err != nil {
+		t.Fatalf("build trace below acceptance floor: %v", err)
+	}
+}
+
+// The registry a full run publishes into must be convention-clean: no kind
+// conflicts and every name on the dotted-lowercase namespace.
+func TestRunRegistryClean(t *testing.T) {
+	w, err := workloads.Load("adranker", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(w.Files, BuildConfig{Probes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewRunObserver()
+	pc := DefaultProfileConfig()
+	o.ObserveProfile(&pc)
+	samples, _, err := CollectSamples(base.Bin, w.Train, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
+	cfg := BuildConfig{Probes: true, Profile: prof}
+	o.ObserveBuild(&cfg)
+	if _, err := Build(w.Files, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if conflicts := o.Metrics.Conflicts(); len(conflicts) != 0 {
+		t.Fatalf("kind-conflicting registrations: %v", conflicts)
+	}
+	for _, name := range o.Metrics.Names() {
+		if !obs.ValidMetricName(name) {
+			t.Errorf("runtime metric %q violates the namespace convention", name)
+		}
+	}
+}

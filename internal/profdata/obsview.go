@@ -1,0 +1,13 @@
+package profdata
+
+import "csspgo/internal/obs"
+
+// Publish records what a lenient decode had to discard into the unified
+// metric registry (nil-safe) — the profdata.read.* slice of the namespace.
+func (s ReadStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.MProfdataSkippedRecords).Add(int64(s.SkippedRecords))
+	reg.Counter(obs.MProfdataSkippedLines).Add(int64(s.SkippedLines))
+}

@@ -1,8 +1,11 @@
 package sampling
 
 import (
+	"time"
+
 	"csspgo/internal/ir"
 	"csspgo/internal/machine"
+	"csspgo/internal/obs"
 	"csspgo/internal/profdata"
 	"csspgo/internal/sim"
 )
@@ -25,6 +28,12 @@ type CSSPGOOptions struct {
 	// deterministic sum reduction, so every worker count yields a
 	// byte-identical serialized profile.
 	Workers int
+	// Trace receives the profile-generation span tree (tail-call graph,
+	// per-worker unwinding, shard merge, finalization). Nil = no tracing.
+	Trace *obs.Span
+	// Metrics receives the unwind.*, shard.* and profilegen.* metrics.
+	// Nil = no publication.
+	Metrics *obs.Registry
 }
 
 // DefaultCSSPGOOptions returns the production defaults.
@@ -43,16 +52,27 @@ func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions)
 	if opts.TailCallInference {
 		// Built once over the full stream and shared read-only by every
 		// worker (InferPath keeps all search state on its own stack).
+		sp := opts.Trace.Span("sampling.tailcall_graph")
+		t0 := time.Now()
 		tails = BuildTailCallGraph(bin, samples)
+		opts.Metrics.Counter(obs.MShardTailGraphBuildNS).Add(time.Since(t0).Nanoseconds())
+		sp.End()
 	}
 
 	shards := sampleShards(samples, resolveWorkers(opts.Workers, len(samples)))
+	usp := opts.Trace.Span("sampling.unwind", obs.A("shards", len(shards)))
 	parts := make([]*profdata.Profile, len(shards))
 	stats := make([]UnwindStats, len(shards))
 	forEachShard(shards, func(i int, shard []sim.Sample) {
+		wsp := usp.WorkerSpan("sampling.unwind_shard", i, obs.A("samples", len(shard)))
+		t0 := time.Now()
 		parts[i], stats[i] = unwindShard(bin, shard, tails, opts)
+		opts.Metrics.Histogram(obs.MShardWorkerBusyNS).Observe(time.Since(t0).Nanoseconds())
+		wsp.End()
 	})
+	usp.End()
 
+	msp := opts.Trace.Span("sampling.merge_shards")
 	p := profdata.MergeShards(parts)
 	if p == nil {
 		p = profdata.New(profdata.ProbeBased, true)
@@ -61,14 +81,22 @@ func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions)
 	for _, s := range stats {
 		st.Add(s)
 	}
+	msp.End()
 
 	// Indirect-call target histograms (sampled value profiles) are
 	// context-insensitive: they land in the base profiles, where the ICP
 	// pass consumes them via the flattened view.
+	isp := opts.Trace.Span("sampling.icall_targets")
 	attributeICallTargets(bin, samples, opts.Workers, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
+	isp.End()
+	fsp := opts.Trace.Span("sampling.finalize")
 	finalizeProbeProfile(bin, p)
+	fsp.End()
+
+	st.Publish(opts.Metrics)
+	publishProfileShape(opts.Metrics, p, len(samples))
 	return p, st
 }
 

@@ -3,6 +3,7 @@ package sampling
 import (
 	"csspgo/internal/ir"
 	"csspgo/internal/machine"
+	"csspgo/internal/obs"
 	"csspgo/internal/profdata"
 	"csspgo/internal/sim"
 )
@@ -12,6 +13,10 @@ type FlatOptions struct {
 	// Workers sizes the sample-sharding worker pool (0 = GOMAXPROCS,
 	// 1 = serial). Any worker count produces a byte-identical profile.
 	Workers int
+	// Trace receives the generation span tree (nil = no tracing).
+	Trace *obs.Span
+	// Metrics receives the profilegen.* metrics (nil = no publication).
+	Metrics *obs.Registry
 }
 
 // lineLoc keys a debug frame by its line offset from the function's start
@@ -39,9 +44,16 @@ func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile 
 }
 
 // GenerateAutoFDOOpts is GenerateAutoFDO with an explicit worker count.
-func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) (p *profdata.Profile) {
+	csp := opts.Trace.Span("sampling.addr_counts", obs.A("samples", len(samples)))
 	ac := addrCounts(bin, samples, opts.Workers)
-	p := profdata.New(profdata.LineBased, false)
+	csp.End()
+	asp := opts.Trace.Span("sampling.attribute_lines")
+	defer func() {
+		asp.End()
+		publishProfileShape(opts.Metrics, p, len(samples))
+	}()
+	p = profdata.New(profdata.LineBased, false)
 
 	// Indirect-call targets come from the LBR records themselves (a call
 	// branch's To names the callee) — the sampled analogue of value
@@ -114,7 +126,10 @@ func GenerateProbeProfile(bin *machine.Prog, samples []sim.Sample) *profdata.Pro
 // GenerateProbeProfileOpts is GenerateProbeProfile with an explicit worker
 // count.
 func GenerateProbeProfileOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+	csp := opts.Trace.Span("sampling.addr_counts", obs.A("samples", len(samples)))
 	ac := addrCounts(bin, samples, opts.Workers)
+	csp.End()
+	asp := opts.Trace.Span("sampling.attribute_probes")
 	p := profdata.New(profdata.ProbeBased, false)
 	attributeProbes(bin, ac, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
@@ -122,7 +137,11 @@ func GenerateProbeProfileOpts(bin *machine.Prog, samples []sim.Sample, opts Flat
 	attributeICallTargets(bin, samples, opts.Workers, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
+	asp.End()
+	fsp := opts.Trace.Span("sampling.finalize")
 	finalizeProbeProfile(bin, p)
+	fsp.End()
+	publishProfileShape(opts.Metrics, p, len(samples))
 	return p
 }
 

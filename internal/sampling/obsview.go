@@ -1,0 +1,43 @@
+package sampling
+
+import (
+	"fmt"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+)
+
+// Publish records the unwinder's counters into the unified metric registry
+// (nil-safe) — the unwind.* slice of the namespace. The struct remains the
+// Go API; this is the thin view the run report consumes.
+func (s UnwindStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.MUnwindSamplesAccepted).Add(int64(s.Samples))
+	reg.Counter(obs.MUnwindSamplesDropped).Add(int64(s.Dropped))
+	reg.Counter(obs.MUnwindRanges).Add(int64(s.Ranges))
+	reg.Counter(obs.MUnwindRangesTruncated).Add(int64(s.TruncatedRanges))
+	reg.Counter(obs.MUnwindSkidAdjusted).Add(int64(s.SkidAdjusted))
+	reg.Counter(obs.MUnwindMissingFrames).Add(int64(s.MissingFrameEvents))
+	reg.Counter(obs.MUnwindEventsRecovered).Add(int64(s.EventsRecovered))
+	reg.Counter(obs.MUnwindFramesRecovered).Add(int64(s.FramesRecovered))
+}
+
+// Summary renders the one-line unwinder digest `csspgo profile -v` prints.
+func (s UnwindStats) Summary() string {
+	return fmt.Sprintf("unwind: %d samples accepted, %d dropped; %d ranges (%d truncated); %d skid-adjusted; %d missing-frame events, %d recovered (%d frames)",
+		s.Samples, s.Dropped, s.Ranges, s.TruncatedRanges,
+		s.SkidAdjusted, s.MissingFrameEvents, s.EventsRecovered, s.FramesRecovered)
+}
+
+// publishProfileShape records the generated profile's shape — worker-count
+// invariant, so serial and parallel runs publish identical values.
+func publishProfileShape(reg *obs.Registry, p *profdata.Profile, samples int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.MProfileGenSamples).Add(int64(samples))
+	reg.Counter(obs.MProfileGenFuncProfiles).Add(int64(len(p.Funcs)))
+	reg.Counter(obs.MProfileGenContexts).Add(int64(len(p.Contexts)))
+}

@@ -1,0 +1,19 @@
+package sim
+
+import "csspgo/internal/obs"
+
+// Publish records the simulated-execution counters into the unified metric
+// registry (nil-safe) — the sim.* slice of the namespace. Counts are fully
+// deterministic (simulated cycles, not wall time), so they survive run-
+// report byte-identity checks unnormalized.
+func (s Stats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.MSimCycles).Add(int64(s.Cycles))
+	reg.Counter(obs.MSimInstructions).Add(int64(s.Instructions))
+	reg.Counter(obs.MSimTakenBranches).Add(int64(s.TakenBranches))
+	reg.Counter(obs.MSimMispredicts).Add(int64(s.Mispredicts))
+	reg.Counter(obs.MSimICacheMisses).Add(int64(s.ICacheMisses))
+	reg.Counter(obs.MSimSamples).Add(int64(s.Samples))
+}

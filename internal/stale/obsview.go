@@ -1,0 +1,16 @@
+package stale
+
+import "csspgo/internal/obs"
+
+// Publish records the matcher's lifetime counters into the unified metric
+// registry (nil-safe). The degradation-ladder outcomes (which rung each
+// stale function landed on) are published by opt.Stats; these count the raw
+// alignment attempts underneath them.
+func (s MatcherStats) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.MStaleMatchAttempts).Add(int64(s.Attempts))
+	reg.Counter(obs.MStaleMatchAccepted).Add(int64(s.Accepted))
+	reg.Counter(obs.MStaleMatchRejected).Add(int64(s.Rejected))
+}

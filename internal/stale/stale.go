@@ -54,9 +54,19 @@ func DefaultParams() Params {
 	return Params{MinQuality: 0.5, CallWeight: 4, MaxDPCells: 1 << 22}
 }
 
+// MatcherStats counts match attempts across one matcher's lifetime (one
+// compilation) — the stale.match.* slice of the unified metric namespace.
+type MatcherStats struct {
+	Attempts        int // Match calls
+	Accepted        int // alignments clearing MinQuality
+	Rejected        int // alignments below MinQuality (or with no anchors)
+	RecoveredProbes int // old probe IDs whose nonzero counts transferred
+}
+
 // Matcher aligns stale function profiles against fresh IR.
 type Matcher struct {
-	P Params
+	P     Params
+	Stats MatcherStats
 }
 
 // NewMatcher returns a matcher, filling zero params from DefaultParams.
@@ -221,6 +231,18 @@ func (m *Matcher) align(old, new []Anchor) [][2]int {
 // Result always carries the computed Quality (for diagnostics); Profile is
 // populated only when the quality clears Params.MinQuality.
 func (m *Matcher) Match(f *ir.Function, fp *profdata.FunctionProfile) *Result {
+	res := m.match(f, fp)
+	m.Stats.Attempts++
+	if res.OK {
+		m.Stats.Accepted++
+		m.Stats.RecoveredProbes += res.RecoveredProbes
+	} else {
+		m.Stats.Rejected++
+	}
+	return res
+}
+
+func (m *Matcher) match(f *ir.Function, fp *profdata.FunctionProfile) *Result {
 	old := AnchorsFromProfile(fp)
 	fresh := AnchorsFromIR(f)
 	res := &Result{OldAnchors: len(old), NewAnchors: len(fresh)}

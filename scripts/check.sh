@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel profile generation)"
-go test -race ./internal/sampling ./internal/pgo
+echo "== go test -race (parallel profile generation + metric registry)"
+go test -race ./internal/sampling ./internal/pgo ./internal/obs
 
 echo "== fuzz smoke (profile readers, 5s per target)"
 # One target per invocation: go test rejects -fuzz patterns matching
@@ -37,5 +37,19 @@ for f in examples/*/*.ml; do
 	out=$(bin/csspgo lint "$f")
 	echo "$f: $(echo "$out" | tail -n 1)"
 done
+
+echo "== observability (trace + run report on a real workload)"
+# Build an example twice with -trace/-report, validate the Chrome trace
+# (>= 8 distinct pipeline spans) and the manifests against the schema,
+# then smoke the diff path.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+src=$(ls examples/*/*.ml | head -n 1)
+bin/csspgo build -o "$obsdir/app.bin" -probes -trace "$obsdir/trace.json" -report "$obsdir/a.json" "$src" >/dev/null
+bin/csspgo profile -bin "$obsdir/app.bin" -o "$obsdir/app.prof" -kind cs -n 50 -v >/dev/null
+bin/csspgo build -o "$obsdir/app2.bin" -probes -profile "$obsdir/app.prof" -report "$obsdir/b.json" "$src" >/dev/null
+bin/csspgo report -validate-trace "$obsdir/trace.json" -min-spans 8
+bin/csspgo report -validate "$obsdir/a.json" "$obsdir/b.json"
+bin/csspgo report "$obsdir/a.json" "$obsdir/b.json" >/dev/null
 
 echo "check: OK"
