@@ -9,23 +9,27 @@ test:
 	$(GO) test ./...
 
 # Race lane: the packages exercising the sharded profile-generation worker
-# pool under the race detector, plus the shared metric registry they
-# publish into.
+# pool under the race detector, the shared metric registry they publish
+# into, and the serving daemon's atomic profile swap.
 race:
-	$(GO) test -race ./internal/sampling ./internal/pgo ./internal/obs
+	$(GO) test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect
 
 # Bench lane: Go micro-benchmarks, then the Fig. 6 corpus through the
 # run-report emitter — BENCH_4.json carries ns-comparable stage timings and
-# the experiment.fig6.* headline gauges.
+# the experiment.fig6.* headline gauges; BENCH_5.json adds the Table 1
+# variant sweep so speedup regressions gate alongside stage timings.
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/experiments -run fig6 -report BENCH_4.json
+	$(GO) run ./cmd/experiments -run fig6,table1 -report BENCH_5.json
 
-# Fuzz smoke lane: native fuzzing of the profile readers, one short burst
-# per target (also part of `make check`).
+# Fuzz smoke lane: native fuzzing of the profile readers and the folded
+# flamegraph codecs, one short burst per target (also part of `make check`).
 fuzz:
 	$(GO) test ./internal/profdata -run='^FuzzReadText$$' -fuzz='^FuzzReadText$$' -fuzztime=5s
 	$(GO) test ./internal/profdata -run='^FuzzReadBinary$$' -fuzz='^FuzzReadBinary$$' -fuzztime=5s
+	$(GO) test ./internal/introspect -run='^FuzzFoldedText$$' -fuzz='^FuzzFoldedText$$' -fuzztime=5s
+	$(GO) test ./internal/introspect -run='^FuzzFoldedBinary$$' -fuzz='^FuzzFoldedBinary$$' -fuzztime=5s
 
 # Full hygiene gate: gofmt, vet, build, tests, and `csspgo lint` over every
 # example module (checked pipeline + profile/IR lint suite).

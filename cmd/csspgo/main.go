@@ -9,9 +9,10 @@
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
 //	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N] [-v] [-trace t.json] [-report r.json]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
-//	csspgo inspect -bin app.bin
+//	csspgo inspect -bin app.bin | -profile app.prof [-folded | -top N | -coverage -bin app.bin] [-json] | -diff old.prof new.prof [-json]
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
-//	csspgo report  a.json [b.json] | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
+//	csspgo report  a.json [b.json] | csspgo report -diff [-threshold PCT] a.json b.json | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
+//	csspgo serve   -addr :8572 [-workload hhvm -scale 1 | src.ml... [-n 60 -seed 1 -bound 1000]] [-name NAME] [-refresh 30s] [-period 797] [-workers N]
 //
 // -trace writes Chrome trace-event JSON (load it in chrome://tracing or
 // Perfetto); -report writes a machine-readable run manifest that `csspgo
@@ -58,6 +59,8 @@ func main() {
 		err = cmdLint(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -68,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report|serve> [flags]")
 	os.Exit(2)
 }
 
@@ -154,20 +157,7 @@ func requests(args string, n int, seed, bound int64) [][]int64 {
 		}
 		return [][]int64{req}
 	}
-	out := make([][]int64, n)
-	x := uint64(seed)*2654435761 + 12345
-	for i := range out {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		a := int64(x % uint64(bound))
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		b := int64(x % uint64(bound))
-		out[i] = []int64{a, b}
-	}
-	return out
+	return pgo.SeededRequests(n, seed, bound)
 }
 
 func cmdBuild(args []string) error {
@@ -416,24 +406,5 @@ func cmdPreinline(args []string) error {
 	}
 	fmt.Printf("trimmed %d cold contexts; pre-inliner marked %d, promoted %d; wrote %s\n",
 		trimmed, res.Inlined, res.Promoted, *out)
-	return nil
-}
-
-func cmdInspect(args []string) error {
-	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	binPath := fs.String("bin", "app.bin", "binary path")
-	_ = fs.Parse(args)
-
-	bin, err := loadBin(*binPath)
-	if err != nil {
-		return err
-	}
-	fmt.Println(bin)
-	fmt.Printf("%-24s %10s %10s %8s\n", "function", "start", "size B", "cold B")
-	for _, fn := range bin.Funcs {
-		cold := fn.ColdEnd - fn.ColdStart
-		fmt.Printf("%-24s %#10x %10d %8d\n", fn.Name, fn.Start, fn.End-fn.Start, cold)
-	}
-	fmt.Printf("sections: text=%dB debug=%dB probemeta=%dB\n", bin.TextSize, bin.DebugSize, bin.ProbeMetaSize)
 	return nil
 }

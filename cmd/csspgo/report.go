@@ -16,6 +16,8 @@ func cmdReport(args []string) error {
 	validate := fs.Bool("validate", false, "only validate the manifest(s) against the run-report schema")
 	validateTrace := fs.String("validate-trace", "", "validate a Chrome trace-event file instead of manifests")
 	minSpans := fs.Int("min-spans", 1, "distinct span names -validate-trace requires")
+	diffGate := fs.Bool("diff", false, "diff two manifests and exit 2 if anything REGRESSED")
+	threshold := fs.Float64("threshold", 100*obs.DefaultRegressionThreshold, "regression threshold in percent for -diff")
 	_ = fs.Parse(args)
 
 	if *validateTrace != "" {
@@ -55,7 +57,14 @@ func cmdReport(args []string) error {
 			fmt.Printf("%s, %s: valid %s manifests\n", fs.Arg(0), fs.Arg(1), obs.Schema)
 			return nil
 		}
-		fmt.Print(obs.DiffReports(a, b))
+		res := obs.DiffReportsThreshold(a, b, *threshold/100)
+		fmt.Print(res.Text)
+		if *diffGate && res.Regressions > 0 {
+			// The CI gate: regressions are an exit-code-2 failure, distinct
+			// from exit 1 (operational errors) so scripts can tell them apart.
+			fmt.Fprintf(os.Stderr, "report: %d regression(s) beyond %.0f%%\n", res.Regressions, *threshold)
+			os.Exit(2)
+		}
 		return nil
 	default:
 		return fmt.Errorf("report: want 1 manifest (pretty-print) or 2 (diff), got %d", fs.NArg())

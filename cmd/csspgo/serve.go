@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"csspgo/internal/analysis"
+	"csspgo/internal/introspect"
+	"csspgo/internal/obs"
+	"csspgo/internal/pgo"
+	"csspgo/internal/source"
+)
+
+// cmdServe runs the continuous-profiling daemon: it profiles a workload
+// once (FullCS pipeline: sample, unwind, trim, pre-inline), then serves the
+// profile, its folded flamegraph export, the run manifest, and Prometheus
+// metrics over HTTP. With -refresh it re-profiles on a timer and atomically
+// swaps each fresh generation in, publishing profile-diff analytics
+// (quality.context_overlap etc.) between consecutive generations.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8572", "listen address (use :0 for an ephemeral port)")
+	workload := fs.String("workload", "", "serve a named synthetic workload instead of source files")
+	scale := fs.Int("scale", 1, "workload request-stream scale (with -workload)")
+	name := fs.String("name", "", "profile name under /profiles/ (default: workload name or \"app\")")
+	refresh := fs.Duration("refresh", 0, "re-profile and swap on this interval (0 = serve one generation)")
+	n := fs.Int("n", 60, "training request count (source-file mode)")
+	seed := fs.Int64("seed", 1, "request generator seed (source-file mode)")
+	bound := fs.Int64("bound", 1000, "request magnitude bound (source-file mode)")
+	period := fs.Uint64("period", 797, "sampling period (taken branches)")
+	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+
+	pc := pgo.DefaultProfileConfig()
+	pc.Period = *period
+	pc.Workers = *workers
+
+	reg := obs.NewRegistry()
+	profName := *name
+	var refresher introspect.RefreshFunc
+	switch {
+	case *workload != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("serve: -workload and source files are mutually exclusive")
+		}
+		fn, err := pgo.NewWorkloadRefresher(*workload, *scale, pc, reg)
+		if err != nil {
+			return err
+		}
+		refresher = fn
+		if profName == "" {
+			profName = *workload
+		}
+	default:
+		var files []*source.File
+		files, err := parseFiles(fs.Args())
+		if err != nil {
+			return err
+		}
+		fn, err := pgo.NewRefresher(files, pgo.SeededRequests(*n, *seed, *bound), pc, reg)
+		if err != nil {
+			return err
+		}
+		refresher = fn
+		if profName == "" {
+			profName = "app"
+		}
+	}
+
+	srv := introspect.NewServer(profName, reg)
+
+	// Collect the first generation synchronously so the daemon never serves
+	// an empty profile.
+	prof, rep, err := refresher()
+	if err != nil {
+		return fmt.Errorf("serve: initial profile collection: %w", err)
+	}
+	if err := srv.SetProfile(prof, rep); err != nil {
+		return err
+	}
+
+	// Self-lint the HTTP surface and the metric namespace before exposing
+	// them: a handler writing before Content-Type or an uncataloged serve.*
+	// metric is a bug, not a runtime condition.
+	var lintErrs int
+	for _, d := range append(analysis.CheckHTTPEndpoints(srv.Handler(), srv.Endpoints()),
+		analysis.CheckMetricRegistry(reg)...) {
+		fmt.Fprintf(os.Stderr, "serve: lint: %s\n", d)
+		if d.Sev == analysis.SevError {
+			lintErrs++
+		}
+	}
+	if lintErrs > 0 {
+		return fmt.Errorf("serve: %d lint error(s) on the HTTP surface", lintErrs)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving profile %q on http://%s (generation %d, %d samples)\n",
+		profName, l.Addr(), srv.Generation(), prof.TotalSamples())
+	for _, ep := range srv.Endpoints() {
+		fmt.Printf("  http://%s%s\n", l.Addr(), ep)
+	}
+	if *refresh > 0 {
+		fmt.Printf("refreshing every %s\n", *refresh)
+		go srv.RefreshLoop(ctx, *refresh, refresher)
+	}
+	return srv.Serve(ctx, l)
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"csspgo/internal/introspect"
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+)
+
+func TestCheckMetricsCataloged(t *testing.T) {
+	if diags := CheckMetricsCataloged(obs.CatalogNames()); len(diags) != 0 {
+		t.Fatalf("catalog names flagged: %v", diags)
+	}
+	diags := CheckMetricsCataloged([]string{"serve.rogue_counter", "app.custom"})
+	if len(diags) != 1 || diags[0].Check != "metric-uncataloged" {
+		t.Fatalf("diags = %v", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "serve.rogue_counter") {
+		t.Fatalf("msg = %q", diags[0].Msg)
+	}
+}
+
+func TestCheckMetricRegistryFlagsUncatalogedServeMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.rogue_counter").Add(1)
+	found := false
+	for _, d := range CheckMetricRegistry(reg) {
+		if d.Check == "metric-uncataloged" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rogue serve.* metric not flagged")
+	}
+}
+
+func TestCheckHTTPEndpointsCleanServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := introspect.NewServer("p", reg)
+	p := profdata.New(profdata.ProbeBased, true)
+	p.FuncProfile("main").AddBody(profdata.LocKey{ID: 1}, 10)
+	if err := s.SetProfile(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if diags := CheckHTTPEndpoints(s.Handler(), s.Endpoints()); len(diags) != 0 {
+		t.Fatalf("clean server flagged: %v", diags)
+	}
+	// The lint must also pass before the first profile lands (404s with a
+	// Content-Type are fine).
+	empty := introspect.NewServer("p", obs.NewRegistry())
+	if diags := CheckHTTPEndpoints(empty.Handler(), empty.Endpoints()); len(diags) != 0 {
+		t.Fatalf("empty server flagged: %v", diags)
+	}
+}
+
+func TestCheckHTTPEndpointsFlagsWriteBeforeContentType(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("oops")) // no Content-Type set first
+	})
+	mux.HandleFunc("/bad-header", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // commits headers without Content-Type
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("late"))
+	})
+	mux.HandleFunc("/good", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("fine"))
+	})
+	mux.HandleFunc("/broken", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	diags := CheckHTTPEndpoints(mux, []string{"/bad", "/bad-header", "/good", "/broken"})
+	byCheck := map[string]int{}
+	for _, d := range diags {
+		byCheck[d.Check]++
+	}
+	if byCheck["http-content-type"] != 2 {
+		t.Fatalf("content-type flags = %d, diags = %v", byCheck["http-content-type"], diags)
+	}
+	if byCheck["http-endpoint"] != 1 {
+		t.Fatalf("endpoint flags = %d, diags = %v", byCheck["http-endpoint"], diags)
+	}
+}

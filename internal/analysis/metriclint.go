@@ -48,6 +48,7 @@ func CheckMetricRegistry(reg *obs.Registry) []Diagnostic {
 		})
 	}
 	diags = append(diags, CheckMetricNames(reg.Names())...)
+	diags = append(diags, CheckMetricsCataloged(reg.Names())...)
 	return diags
 }
 

@@ -1,0 +1,371 @@
+// Package introspect makes profiles inspectable: folded-stack (flamegraph-
+// collapsed) export in deterministic text and binary encodings, a
+// context-trie walker with inclusive/exclusive weights, per-function probe
+// coverage, Prometheus rendering of metric snapshots, and the HTTP serving
+// daemon behind `csspgo serve`.
+package introspect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"csspgo/internal/profdata"
+)
+
+// Entry is one folded stack: the calling-context frames (outermost first,
+// leaf last) and the total sample weight attributed to exactly that stack.
+type Entry struct {
+	Frames profdata.Context
+	Weight uint64
+}
+
+// Key renders the folded-stack key: frames joined with ';', every frame
+// except the leaf carrying its call site ("main:2;foo:5;bar"). Unlike
+// flamegraph convention, call sites are kept so distinct calling contexts
+// through the same functions stay distinct and the encoding round-trips
+// losslessly.
+func (e Entry) Key() string {
+	var sb strings.Builder
+	for i, f := range e.Frames {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(f.Func)
+		if i != len(e.Frames)-1 {
+			sb.WriteByte(':')
+			sb.WriteString(f.Site.String())
+		}
+	}
+	return sb.String()
+}
+
+// Folded flattens a profile into folded-stack entries: one entry per
+// calling context (weight = the context's body samples) plus one
+// single-frame entry per base function profile (flat residue). Entries with
+// identical stacks merge; the result is sorted by stack key, so the export
+// is deterministic for any map iteration order.
+func Folded(p *profdata.Profile) []Entry {
+	byKey := map[string]*Entry{}
+	add := func(frames profdata.Context, w uint64) {
+		if w == 0 || len(frames) == 0 {
+			return
+		}
+		e := Entry{Frames: append(profdata.Context(nil), frames...), Weight: w}
+		// The leaf frame's site is meaningless; clear it so merged keys and
+		// re-parsed entries compare equal.
+		e.Frames[len(e.Frames)-1].Site = profdata.LocKey{}
+		key := e.Key()
+		if cur, ok := byKey[key]; ok {
+			cur.Weight += w
+			return
+		}
+		byKey[key] = &e
+	}
+	for _, name := range p.SortedFuncNames() {
+		fp := p.Funcs[name]
+		add(profdata.Context{{Func: name}}, fp.TotalSamples)
+	}
+	for _, key := range p.SortedContextKeys() {
+		fp := p.Contexts[key]
+		add(fp.Context, fp.TotalSamples)
+	}
+	return sortEntries(byKey)
+}
+
+func sortEntries(byKey map[string]*Entry) []Entry {
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = *byKey[k]
+	}
+	return out
+}
+
+// Top returns the n heaviest entries, weight-descending (ties broken by
+// stack key, so the order is total).
+func Top(entries []Entry, n int) []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// EncodeFoldedText renders entries in the folded text format, one
+// "stack weight" line each. Entries are re-canonicalized (merged + sorted)
+// first, so the output is deterministic regardless of input order.
+func EncodeFoldedText(entries []Entry) []byte {
+	var sb strings.Builder
+	for _, e := range canonicalize(entries) {
+		sb.WriteString(e.Key())
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatUint(e.Weight, 10))
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// canonicalize merges duplicate stacks and sorts by key.
+func canonicalize(entries []Entry) []Entry {
+	byKey := map[string]*Entry{}
+	for _, e := range entries {
+		key := e.Key()
+		if cur, ok := byKey[key]; ok {
+			cur.Weight += e.Weight
+			continue
+		}
+		c := e
+		c.Frames = append(profdata.Context(nil), e.Frames...)
+		byKey[key] = &c
+	}
+	return sortEntries(byKey)
+}
+
+// ParseFoldedText parses the folded text format back into canonical
+// (merged, sorted) entries. Duplicate stacks accumulate; malformed lines
+// are errors, blank lines and '#' comments are skipped.
+func ParseFoldedText(data []byte) ([]Entry, error) {
+	byKey := map[string]*Entry{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("folded: line %d: missing weight", ln+1)
+		}
+		weight, err := strconv.ParseUint(line[sp+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("folded: line %d: bad weight %q", ln+1, line[sp+1:])
+		}
+		frames, err := parseStack(line[:sp])
+		if err != nil {
+			return nil, fmt.Errorf("folded: line %d: %w", ln+1, err)
+		}
+		if weight == 0 {
+			continue
+		}
+		e := Entry{Frames: frames, Weight: weight}
+		key := e.Key()
+		if cur, ok := byKey[key]; ok {
+			cur.Weight += weight
+			continue
+		}
+		byKey[key] = &e
+	}
+	return sortEntries(byKey), nil
+}
+
+// parseStack parses "main:2;foo:5.1;bar" into context frames.
+func parseStack(s string) (profdata.Context, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty stack")
+	}
+	parts := strings.Split(s, ";")
+	frames := make(profdata.Context, 0, len(parts))
+	for i, part := range parts {
+		if i == len(parts)-1 {
+			if !validFuncName(part) {
+				return nil, fmt.Errorf("bad leaf frame %q", part)
+			}
+			frames = append(frames, profdata.ContextFrame{Func: part})
+			continue
+		}
+		colon := strings.LastIndexByte(part, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("frame %q missing call site", part)
+		}
+		fn := part[:colon]
+		if !validFuncName(fn) {
+			return nil, fmt.Errorf("bad frame function %q", fn)
+		}
+		site, err := parseSite(part[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("frame %q: %w", part, err)
+		}
+		frames = append(frames, profdata.ContextFrame{Func: fn, Site: site})
+	}
+	return frames, nil
+}
+
+// validFuncName rejects names that would collide with the folded syntax.
+// MiniLang identifiers (and the synthetic names probes generate) never
+// contain these bytes, so the encoding is total over real profiles.
+func validFuncName(s string) bool {
+	return s != "" && !strings.ContainsAny(s, ";: \t@\r\n")
+}
+
+// parseSite parses "2" or "2.1" as a LocKey, requiring the canonical
+// rendering (no leading zeros, plus signs, or empty discriminators) so that
+// parse -> encode is the identity on accepted inputs.
+func parseSite(s string) (profdata.LocKey, error) {
+	idStr, discStr, hasDisc := strings.Cut(s, ".")
+	id, err := parseCanonicalInt32(idStr)
+	if err != nil {
+		return profdata.LocKey{}, err
+	}
+	loc := profdata.LocKey{ID: id}
+	if hasDisc {
+		disc, err := parseCanonicalInt32(discStr)
+		if err != nil {
+			return profdata.LocKey{}, err
+		}
+		if disc == 0 {
+			return profdata.LocKey{}, fmt.Errorf("non-canonical zero discriminator in %q", s)
+		}
+		loc.Disc = disc
+	}
+	return loc, nil
+}
+
+func parseCanonicalInt32(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad site %q", s)
+	}
+	if s != strconv.FormatInt(v, 10) {
+		return 0, fmt.Errorf("non-canonical site %q", s)
+	}
+	return int32(v), nil
+}
+
+// The binary folded encoding: "CSFL" magic, a format version byte, then a
+// uvarint entry count followed by entries in canonical (sorted) order.
+// Each entry is: uvarint frame count; per frame a uvarint name length +
+// name bytes, plus (non-leaf frames only) zigzag-varint site ID and
+// discriminator; then the uvarint weight.
+var foldedMagic = []byte("CSFL\x01")
+
+// Decoder hardening bounds — far above anything a real profile produces,
+// low enough that fuzzing cannot allocate unbounded memory.
+const (
+	maxFoldedEntries = 1 << 22
+	maxFoldedFrames  = 1 << 12
+	maxFoldedNameLen = 1 << 12
+)
+
+// EncodeFoldedBinary renders entries in the compact binary folded format
+// (canonicalized first, like the text encoder).
+func EncodeFoldedBinary(entries []Entry) []byte {
+	canon := canonicalize(entries)
+	var buf bytes.Buffer
+	buf.Write(foldedMagic)
+	writeUvarint(&buf, uint64(len(canon)))
+	for _, e := range canon {
+		writeUvarint(&buf, uint64(len(e.Frames)))
+		for i, f := range e.Frames {
+			writeUvarint(&buf, uint64(len(f.Func)))
+			buf.WriteString(f.Func)
+			if i != len(e.Frames)-1 {
+				writeVarint(&buf, int64(f.Site.ID))
+				writeVarint(&buf, int64(f.Site.Disc))
+			}
+		}
+		writeUvarint(&buf, e.Weight)
+	}
+	return buf.Bytes()
+}
+
+// DecodeFoldedBinary parses the binary folded format, validating frame
+// names and bounds; the result is re-canonicalized so decode(encode(x))
+// equals canonicalize(x).
+func DecodeFoldedBinary(data []byte) ([]Entry, error) {
+	if !bytes.HasPrefix(data, foldedMagic) {
+		return nil, fmt.Errorf("folded: bad magic")
+	}
+	r := bytes.NewReader(data[len(foldedMagic):])
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("folded: entry count: %w", err)
+	}
+	if n > maxFoldedEntries {
+		return nil, fmt.Errorf("folded: implausible entry count %d", n)
+	}
+	entries := make([]Entry, 0, min(int(n), 1024))
+	for ei := uint64(0); ei < n; ei++ {
+		nf, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("folded: entry %d: frame count: %w", ei, err)
+		}
+		if nf == 0 || nf > maxFoldedFrames {
+			return nil, fmt.Errorf("folded: entry %d: bad frame count %d", ei, nf)
+		}
+		frames := make(profdata.Context, 0, nf)
+		for fi := uint64(0); fi < nf; fi++ {
+			nameLen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("folded: entry %d: name length: %w", ei, err)
+			}
+			if nameLen == 0 || nameLen > maxFoldedNameLen {
+				return nil, fmt.Errorf("folded: entry %d: bad name length %d", ei, nameLen)
+			}
+			name := make([]byte, nameLen)
+			if _, err := r.Read(name); err != nil || uint64(len(name)) != nameLen {
+				return nil, fmt.Errorf("folded: entry %d: truncated name", ei)
+			}
+			if !validFuncName(string(name)) {
+				return nil, fmt.Errorf("folded: entry %d: invalid function name %q", ei, name)
+			}
+			frame := profdata.ContextFrame{Func: string(name)}
+			if fi != nf-1 {
+				id, err := binary.ReadVarint(r)
+				if err != nil {
+					return nil, fmt.Errorf("folded: entry %d: site: %w", ei, err)
+				}
+				disc, err := binary.ReadVarint(r)
+				if err != nil {
+					return nil, fmt.Errorf("folded: entry %d: discriminator: %w", ei, err)
+				}
+				if id != int64(int32(id)) || disc != int64(int32(disc)) {
+					return nil, fmt.Errorf("folded: entry %d: site out of int32 range", ei)
+				}
+				frame.Site = profdata.LocKey{ID: int32(id), Disc: int32(disc)}
+			}
+			frames = append(frames, frame)
+		}
+		weight, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("folded: entry %d: weight: %w", ei, err)
+		}
+		if weight == 0 {
+			continue
+		}
+		entries = append(entries, Entry{Frames: frames, Weight: weight})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("folded: %d trailing bytes", r.Len())
+	}
+	return canonicalize(entries), nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

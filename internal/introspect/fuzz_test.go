@@ -1,0 +1,55 @@
+package introspect
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzFoldedText checks that any input the text parser accepts
+// re-encodes canonically: parse -> encode -> parse is a fixpoint.
+func FuzzFoldedText(f *testing.F) {
+	f.Add([]byte("main 160\nmain:3;foo 100\nmain:3;foo:2;bar 40\n"))
+	f.Add([]byte("# comment\n\na 1\na 2\n"))
+	f.Add([]byte("x:1.2;y 18446744073709551615\n"))
+	f.Add([]byte("a:-3;b 7\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseFoldedText(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeFoldedText(entries)
+		back, err := ParseFoldedText(enc)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %v\n%q", err, enc)
+		}
+		if !reflect.DeepEqual(entries, back) {
+			t.Fatalf("not a fixpoint:\n in  %+v\n out %+v", entries, back)
+		}
+		if again := EncodeFoldedText(back); !bytes.Equal(enc, again) {
+			t.Fatalf("re-encode differs:\n%q\n%q", enc, again)
+		}
+	})
+}
+
+// FuzzFoldedBinary checks the binary decoder never panics and that any
+// accepted input decodes to entries whose re-encoding decodes equally.
+func FuzzFoldedBinary(f *testing.F) {
+	f.Add(EncodeFoldedBinary(Folded(testProfile())))
+	f.Add([]byte("CSFL\x01\x00"))
+	f.Add([]byte("CSFL"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeFoldedBinary(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeFoldedBinary(entries)
+		back, err := DecodeFoldedBinary(enc)
+		if err != nil {
+			t.Fatalf("canonical binary rejected: %v", err)
+		}
+		if !reflect.DeepEqual(entries, back) {
+			t.Fatalf("binary not a fixpoint:\n in  %+v\n out %+v", entries, back)
+		}
+	})
+}

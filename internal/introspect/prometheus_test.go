@@ -1,0 +1,51 @@
+package introspect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"csspgo/internal/obs"
+)
+
+func TestRenderPrometheus(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(7)
+	reg.Gauge("pipeline.speedup").Set(1.25)
+	h := reg.Histogram("serve.swap_latency_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	out := string(RenderPrometheus(reg.Snapshot()))
+	for _, want := range []string{
+		"# TYPE pipeline_speedup gauge\npipeline_speedup 1.25\n",
+		"# TYPE serve_requests counter\nserve_requests 7\n",
+		"# TYPE serve_swap_latency_ns summary\n",
+		"serve_swap_latency_ns{quantile=\"0.5\"} 63\n",
+		"serve_swap_latency_ns{quantile=\"0.95\"} 100\n",
+		"serve_swap_latency_ns{quantile=\"0.99\"} 100\n",
+		"serve_swap_latency_ns_sum 5050\n",
+		"serve_swap_latency_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: same snapshot renders byte-identically.
+	if !bytes.Equal(RenderPrometheus(reg.Snapshot()), RenderPrometheus(reg.Snapshot())) {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.swap_latency_ns":   "serve_swap_latency_ns",
+		"quality.context-overlap": "quality_context_overlap",
+		"9lives":                  "_lives",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

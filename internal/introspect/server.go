@@ -1,0 +1,214 @@
+package introspect
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+)
+
+// Served is one atomically-swapped generation of the daemon's artifacts:
+// the profile bytes builds fetch, the folded flamegraph export, and the run
+// report from the collection that produced them. Everything is rendered at
+// swap time, so request handlers only copy bytes — a request can never
+// observe a half-updated profile.
+type Served struct {
+	Name       string // profile name under /profiles/<name>
+	Profile    []byte // text-encoded profile
+	Folded     []byte // folded-stack flamegraph export
+	Report     []byte // csspgo-run-report/v1 JSON (may be nil)
+	Generation uint64 // 1 for the first SetProfile, +1 per swap
+	SwappedAt  time.Time
+}
+
+// RefreshFunc re-collects a profile (and its run report) for the serving
+// daemon; `csspgo serve -refresh` calls it on every tick. It must be safe
+// for use from the refresh goroutine.
+type RefreshFunc func() (*profdata.Profile, *obs.Report, error)
+
+// Server is the continuous-profiling daemon behind `csspgo serve`: it
+// holds the current profile generation and exposes it over HTTP
+// (datadog-pgo-style — builds pull /profiles/<name>, humans pull
+// /flamegraph and /metrics). All serve.* metrics land in the registry the
+// server was built with, so /metrics covers both the pipeline and the
+// daemon itself.
+type Server struct {
+	name string
+	reg  *obs.Registry
+
+	requests        *obs.Counter
+	refreshes       *obs.Counter
+	refreshFailures *obs.Counter
+	swapLatency     *obs.Histogram
+
+	cur atomic.Pointer[Served]
+	gen atomic.Uint64
+}
+
+// NewServer returns a daemon serving under the given profile name,
+// publishing serve.* metrics into reg (which may already carry pipeline
+// metrics; /metrics exposes whatever the registry holds).
+func NewServer(name string, reg *obs.Registry) *Server {
+	return &Server{
+		name:            name,
+		reg:             reg,
+		requests:        reg.Counter(obs.MServeRequests),
+		refreshes:       reg.Counter(obs.MServeRefreshes),
+		refreshFailures: reg.Counter(obs.MServeRefreshFailures),
+		swapLatency:     reg.Histogram(obs.MServeSwapLatencyNS),
+	}
+}
+
+// Name returns the served profile name.
+func (s *Server) Name() string { return s.name }
+
+// SetProfile renders and atomically publishes a new profile generation.
+// The swap itself is a pointer store: in-flight requests keep the
+// generation they started with.
+func (s *Server) SetProfile(p *profdata.Profile, rep *obs.Report) error {
+	start := time.Now()
+	served := &Served{Name: s.name, SwappedAt: start}
+	served.Profile = []byte(profdata.EncodeToString(p))
+	served.Folded = EncodeFoldedText(Folded(p))
+	if rep != nil {
+		data, err := rep.Encode()
+		if err != nil {
+			return fmt.Errorf("introspect: encode report: %w", err)
+		}
+		served.Report = data
+	}
+	served.Generation = s.gen.Add(1)
+	s.cur.Store(served)
+	s.swapLatency.Observe(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// Current returns the live generation (nil before the first SetProfile).
+func (s *Server) Current() *Served { return s.cur.Load() }
+
+// Generation returns the current swap count.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// RefreshLoop re-profiles on every tick until ctx is done, swapping in
+// each fresh profile+report. Failures count on serve.refresh_failures and
+// keep the previous generation serving.
+func (s *Server) RefreshLoop(ctx context.Context, interval time.Duration, refresh RefreshFunc) {
+	if interval <= 0 || refresh == nil {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			prof, rep, err := refresh()
+			if err != nil {
+				s.refreshFailures.Add(1)
+				continue
+			}
+			if err := s.SetProfile(prof, rep); err != nil {
+				s.refreshFailures.Add(1)
+				continue
+			}
+			s.refreshes.Add(1)
+		}
+	}
+}
+
+// Endpoints lists the daemon's HTTP surface (as concrete probe paths — the
+// endpoint lint and the smoke tests iterate over these).
+func (s *Server) Endpoints() []string {
+	return []string{
+		"/healthz",
+		"/metrics",
+		"/report",
+		"/flamegraph",
+		"/profiles/" + s.name,
+	}
+}
+
+// Handler returns the daemon's HTTP handler. Every handler sets
+// Content-Type before writing (the analysis endpoint lint enforces this).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(RenderPrometheus(s.reg.Snapshot()))
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		cur := s.Current()
+		if cur == nil || cur.Report == nil {
+			http.Error(w, "no report collected yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(cur.Report)
+	})
+	mux.HandleFunc("/flamegraph", func(w http.ResponseWriter, r *http.Request) {
+		s.serveFolded(w, r, s.name)
+	})
+	mux.HandleFunc("/flamegraph/", func(w http.ResponseWriter, r *http.Request) {
+		s.serveFolded(w, r, strings.TrimPrefix(r.URL.Path, "/flamegraph/"))
+	})
+	mux.HandleFunc("/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/profiles/")
+		cur := s.Current()
+		if cur == nil || (name != cur.Name && name != cur.Name+".prof") {
+			http.Error(w, "unknown profile "+name, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Profile-Generation", fmt.Sprint(cur.Generation))
+		w.Write(cur.Profile)
+	})
+	// Count every request, whatever the endpoint.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) serveFolded(w http.ResponseWriter, r *http.Request, name string) {
+	if q := r.URL.Query().Get("profile"); q != "" {
+		name = q
+	}
+	cur := s.Current()
+	if cur == nil || name != cur.Name {
+		http.Error(w, "unknown profile "+name, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(cur.Folded)
+}
+
+// Serve runs an HTTP server on l until ctx is done, then shuts down
+// gracefully (in-flight requests get up to five seconds to finish).
+// A closed listener after shutdown is a clean exit, not an error.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

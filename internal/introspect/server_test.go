@@ -1,0 +1,165 @@
+package introspect
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return res, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer("quickstart", reg)
+	rep := obs.NewReport("test")
+	if err := s.SetProfile(testProfile(), rep); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	h := s.Handler()
+
+	res, body := get(t, h, "/healthz")
+	if res.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz: %d %q", res.StatusCode, body)
+	}
+
+	res, body = get(t, h, "/metrics")
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{"serve_requests", "serve_swap_latency_ns{quantile=\"0.99\"}"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	res, body = get(t, h, "/flamegraph")
+	if res.StatusCode != 200 || !bytes.Equal(body, EncodeFoldedText(Folded(testProfile()))) {
+		t.Fatalf("/flamegraph: %d %q", res.StatusCode, body)
+	}
+
+	res, body = get(t, h, "/profiles/quickstart")
+	if res.StatusCode != 200 {
+		t.Fatalf("/profiles: %d", res.StatusCode)
+	}
+	if res.Header.Get("X-Profile-Generation") != "1" {
+		t.Fatalf("generation header = %q", res.Header.Get("X-Profile-Generation"))
+	}
+	back, err := profdata.DecodeAny(body)
+	if err != nil {
+		t.Fatalf("served profile does not decode: %v", err)
+	}
+	if back.TotalSamples() != testProfile().TotalSamples() {
+		t.Fatalf("served profile samples = %d", back.TotalSamples())
+	}
+	if res, _ = get(t, h, "/profiles/quickstart.prof"); res.StatusCode != 200 {
+		t.Fatalf("/profiles/quickstart.prof: %d", res.StatusCode)
+	}
+	if res, _ = get(t, h, "/profiles/other"); res.StatusCode != 404 {
+		t.Fatalf("/profiles/other: %d", res.StatusCode)
+	}
+
+	res, body = get(t, h, "/report")
+	if res.StatusCode != 200 {
+		t.Fatalf("/report: %d", res.StatusCode)
+	}
+	if _, err := obs.DecodeReport(body); err != nil {
+		t.Fatalf("/report does not decode: %v", err)
+	}
+
+	if reg.Counter(obs.MServeRequests).Value() == 0 {
+		t.Fatal("serve.requests not incremented")
+	}
+}
+
+func TestServerBeforeFirstProfile(t *testing.T) {
+	s := NewServer("p", obs.NewRegistry())
+	h := s.Handler()
+	for _, path := range []string{"/report", "/flamegraph", "/profiles/p"} {
+		if res, _ := get(t, h, path); res.StatusCode != 404 {
+			t.Fatalf("%s before SetProfile: %d", path, res.StatusCode)
+		}
+	}
+	if res, _ := get(t, h, "/healthz"); res.StatusCode != 200 {
+		t.Fatal("/healthz must work before first profile")
+	}
+}
+
+func TestRefreshLoopSwaps(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer("p", reg)
+	if err := s.SetProfile(testProfile(), nil); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RefreshLoop(ctx, time.Millisecond, func() (*profdata.Profile, *obs.Report, error) {
+			return testProfile(), nil, nil
+		})
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.Generation() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("refresh loop never swapped")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	if reg.Counter(obs.MServeRefreshes).Value() < 2 {
+		t.Fatalf("serve.refreshes = %d", reg.Counter(obs.MServeRefreshes).Value())
+	}
+	cur := s.Current()
+	if cur == nil || cur.Generation < 3 {
+		t.Fatalf("current = %+v", cur)
+	}
+}
+
+func TestRefreshLoopCountsFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer("p", reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RefreshLoop(ctx, time.Millisecond, func() (*profdata.Profile, *obs.Report, error) {
+			return nil, nil, io.ErrUnexpectedEOF
+		})
+	}()
+	deadline := time.After(5 * time.Second)
+	for reg.Counter(obs.MServeRefreshFailures).Value() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("failures never counted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	if s.Generation() != 0 {
+		t.Fatal("failed refresh must not swap")
+	}
+}

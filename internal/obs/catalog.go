@@ -78,6 +78,20 @@ const (
 
 	// internal/quality — profile-quality scores.
 	MQualityBlockOverlap = "quality.block_overlap"
+
+	// internal/quality — profile diff analytics (old vs. new profile).
+	MQualityContextOverlap = "quality.context_overlap"
+	MQualityContextsGained = "quality.contexts_gained"
+	MQualityContextsLost   = "quality.contexts_lost"
+	MQualityFuncDivergence = "quality.func_divergence"
+
+	// internal/introspect — the `csspgo serve` profile daemon. The serve.*
+	// prefix is reserved: the analysis metric lint rejects serve.* names
+	// that are not declared here.
+	MServeRequests        = "serve.requests"
+	MServeRefreshes       = "serve.refreshes"
+	MServeRefreshFailures = "serve.refresh_failures"
+	MServeSwapLatencyNS   = "serve.swap_latency_ns"
 )
 
 // CatalogNames lists every statically declared metric name (dynamic names,
@@ -103,8 +117,18 @@ func CatalogNames() []string {
 		MSimCycles, MSimInstructions, MSimTakenBranches,
 		MSimMispredicts, MSimICacheMisses, MSimSamples,
 		MQualityBlockOverlap,
+		MQualityContextOverlap, MQualityContextsGained, MQualityContextsLost,
+		MQualityFuncDivergence,
+		MServeRequests, MServeRefreshes, MServeRefreshFailures,
+		MServeSwapLatencyNS,
 	}
 }
+
+// ReservedMetricPrefixes lists namespaces whose every metric must be
+// declared in the static catalog. The serving daemon's metrics are part of
+// its public HTTP contract (`/metrics`), so ad-hoc serve.* names are lint
+// errors rather than dynamic extensions.
+func ReservedMetricPrefixes() []string { return []string{"serve."} }
 
 // metricNameRE is the canonical metric-name shape: dotted lowercase path
 // with at least two segments.

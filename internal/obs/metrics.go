@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -87,13 +88,31 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram summarizes a distribution of integer observations
-// (count/sum/min/max — enough for run reports and diffs).
+// numHistBuckets is the fixed log2 bucket count: bucket 0 holds values
+// <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
+const numHistBuckets = 64
+
+// Histogram summarizes a distribution of integer observations:
+// count/sum/min/max plus fixed log2 buckets, from which the snapshot
+// derives deterministic p50/p95/p99 summary values.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      int64
 	min, max int64
+	buckets  [numHistBuckets]int64
+}
+
+// histBucket maps a value to its log2 bucket index.
+func histBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= numHistBuckets {
+		return numHistBuckets - 1
+	}
+	return i
 }
 
 // Observe records one value (no-op on a nil handle).
@@ -111,6 +130,55 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
+	h.buckets[histBucket(v)]++
+}
+
+// bucketQuantile estimates the q-quantile from log2 buckets: the upper
+// bound of the bucket where the cumulative count crosses q, clamped to the
+// observed [min, max]. Deterministic, and exact to within one bucket.
+func bucketQuantile(buckets []int64, count, min, max int64, q float64) int64 {
+	if count == 0 {
+		return 0
+	}
+	target := int64(q * float64(count))
+	if float64(target) < q*float64(count) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= target {
+			var ub int64
+			if i > 0 {
+				ub = int64(1)<<uint(i) - 1
+			}
+			if ub < min {
+				ub = min
+			}
+			if ub > max {
+				ub = max
+			}
+			return ub
+		}
+	}
+	return max
+}
+
+// trimBuckets drops trailing zero buckets so snapshots stay compact.
+func trimBuckets(buckets []int64) []int64 {
+	n := len(buckets)
+	for n > 0 && buckets[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	copy(out, buckets[:n])
+	return out
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -208,15 +276,30 @@ func (r *Registry) Conflicts() []string {
 }
 
 // MetricValue is one metric's exported state. Exactly the fields for its
-// kind are meaningful.
+// kind are meaningful. Histograms carry their raw log2 buckets (trailing
+// zeros trimmed) plus derived p50/p95/p99 summary values; the quantiles are
+// recomputed whenever snapshots merge, so they stay consistent with the
+// buckets for any shard count.
 type MetricValue struct {
-	Kind  Kind    `json:"kind"`
-	Value int64   `json:"value,omitempty"` // counter total
-	Gauge float64 `json:"gauge,omitempty"`
-	Count int64   `json:"count,omitempty"` // histogram
-	Sum   int64   `json:"sum,omitempty"`
-	Min   int64   `json:"min,omitempty"`
-	Max   int64   `json:"max,omitempty"`
+	Kind    Kind    `json:"kind"`
+	Value   int64   `json:"value,omitempty"` // counter total
+	Gauge   float64 `json:"gauge,omitempty"`
+	Count   int64   `json:"count,omitempty"` // histogram
+	Sum     int64   `json:"sum,omitempty"`
+	Min     int64   `json:"min,omitempty"`
+	Max     int64   `json:"max,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"` // log2 buckets, trailing zeros trimmed
+	P50     int64   `json:"p50,omitempty"`
+	P95     int64   `json:"p95,omitempty"`
+	P99     int64   `json:"p99,omitempty"`
+}
+
+// withQuantiles fills the derived p50/p95/p99 fields from the buckets.
+func (mv MetricValue) withQuantiles() MetricValue {
+	mv.P50 = bucketQuantile(mv.Buckets, mv.Count, mv.Min, mv.Max, 0.50)
+	mv.P95 = bucketQuantile(mv.Buckets, mv.Count, mv.Min, mv.Max, 0.95)
+	mv.P99 = bucketQuantile(mv.Buckets, mv.Count, mv.Min, mv.Max, 0.99)
+	return mv
 }
 
 // Snapshot is a point-in-time export of a registry, keyed by metric name.
@@ -241,8 +324,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, h := range r.hists {
 		h.mu.Lock()
-		out[n] = MetricValue{Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		mv := MetricValue{
+			Kind: KindHistogram, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			Buckets: trimBuckets(h.buckets[:]),
+		}
 		h.mu.Unlock()
+		out[n] = mv.withQuantiles()
 	}
 	return out
 }
@@ -278,6 +365,15 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 				}
 				cur.Count += mv.Count
 				cur.Sum += mv.Sum
+				if len(mv.Buckets) > len(cur.Buckets) {
+					grown := make([]int64, len(mv.Buckets))
+					copy(grown, cur.Buckets)
+					cur.Buckets = grown
+				}
+				for i, n := range mv.Buckets {
+					cur.Buckets[i] += n
+				}
+				cur = cur.withQuantiles()
 			}
 		}
 		s[name] = cur

@@ -239,7 +239,8 @@ func formatMetric(mv MetricValue) string {
 	case KindGauge:
 		return fmt.Sprintf("%.4g", mv.Gauge)
 	case KindHistogram:
-		return fmt.Sprintf("count=%d sum=%d min=%d max=%d", mv.Count, mv.Sum, mv.Min, mv.Max)
+		return fmt.Sprintf("count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d",
+			mv.Count, mv.Sum, mv.Min, mv.Max, mv.P50, mv.P95, mv.P99)
 	default:
 		return fmt.Sprintf("%d", mv.Value)
 	}
@@ -254,16 +255,40 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
-// regressionThreshold: a stage slower by more than this fraction, or a
-// quality score lower by more than this fraction, is highlighted.
-const regressionThreshold = 0.10
+// DefaultRegressionThreshold: a stage slower by more than this fraction, a
+// timing metric higher, or a quality score/metric lower by more than this
+// fraction, is flagged REGRESSED.
+const DefaultRegressionThreshold = 0.10
 
-// DiffReports renders the delta between two manifests: per-stage wall-time
-// changes, per-metric deltas, and quality-score changes, with regressions
-// (markedly slower stages, lower quality) highlighted.
+// DiffResult is a rendered manifest diff plus how many entries were flagged
+// REGRESSED — the count `csspgo report -diff` gates its exit code on.
+type DiffResult struct {
+	Text        string
+	Regressions int
+}
+
+// DiffReports renders the delta between two manifests with the default
+// regression threshold.
 func DiffReports(a, b *Report) string {
+	return DiffReportsThreshold(a, b, DefaultRegressionThreshold).Text
+}
+
+// DiffReportsThreshold renders the delta between two manifests: per-stage
+// wall-time changes, per-metric deltas, and quality-score changes.
+// Regressions — stages slower than threshold, timing (_ns) metrics higher,
+// quality.* metrics or quality scores lower — are flagged REGRESSED and
+// counted in the result.
+func DiffReportsThreshold(a, b *Report, threshold float64) DiffResult {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	var res DiffResult
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "run report diff: %s -> %s\n", a.Tool, b.Tool)
+	regressed := func() string {
+		res.Regressions++
+		return "  REGRESSED"
+	}
 
 	aStages, bStages := stageMap(a), stageMap(b)
 	if len(aStages) > 0 || len(bStages) > 0 {
@@ -271,8 +296,8 @@ func DiffReports(a, b *Report) string {
 		for _, name := range unionKeys(aStages, bStages) {
 			av, bv := float64(aStages[name].WallNS)/1e6, float64(bStages[name].WallNS)/1e6
 			mark := ""
-			if av > 0 && bv > av*(1+regressionThreshold) {
-				mark = "  REGRESSED"
+			if av > 0 && bv > av*(1+threshold) {
+				mark = regressed()
 			}
 			fmt.Fprintf(&sb, "  %-44s %12.3f -> %12.3f  %s%s\n", name, av, bv, pctChange(av, bv), mark)
 		}
@@ -286,7 +311,14 @@ func DiffReports(a, b *Report) string {
 				continue
 			}
 			changed++
-			fmt.Fprintf(&sb, "  %-44s %14.6g -> %14.6g  %s\n", name, av, bv, pctChange(av, bv))
+			mark := ""
+			switch {
+			case IsTimingMetric(name) && av > 0 && bv > av*(1+threshold):
+				mark = regressed()
+			case strings.HasPrefix(name, "quality.") && bv < av*(1-threshold):
+				mark = regressed()
+			}
+			fmt.Fprintf(&sb, "  %-44s %14.6g -> %14.6g  %s%s\n", name, av, bv, pctChange(av, bv), mark)
 		}
 		if changed == 0 {
 			sb.WriteString("  (no metric changed)\n")
@@ -297,13 +329,14 @@ func DiffReports(a, b *Report) string {
 		for _, name := range unionKeys(a.Quality, b.Quality) {
 			av, bv := a.Quality[name], b.Quality[name]
 			mark := ""
-			if bv < av*(1-regressionThreshold) {
-				mark = "  REGRESSED"
+			if bv < av*(1-threshold) {
+				mark = regressed()
 			}
 			fmt.Fprintf(&sb, "  %-44s %.4f -> %.4f  %s%s\n", name, av, bv, pctChange(av, bv), mark)
 		}
 	}
-	return sb.String()
+	res.Text = sb.String()
+	return res
 }
 
 func stageMap(r *Report) map[string]Stage {

@@ -1,0 +1,97 @@
+package pgo
+
+import (
+	"fmt"
+	"sync"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/preinline"
+	"csspgo/internal/profdata"
+	"csspgo/internal/quality"
+	"csspgo/internal/sampling"
+	"csspgo/internal/source"
+	"csspgo/internal/workloads"
+)
+
+// This file is the serving-daemon glue: it packages the train → sample →
+// generate pipeline as a refresh closure `csspgo serve` hands to
+// introspect.Server.RefreshLoop, so the daemon re-profiles a workload on a
+// timer and atomically swaps in each fresh profile (the paper's continuous
+// production-profiling loop, §II).
+
+// SeededRequests builds n two-argument requests from a deterministic
+// xorshift stream (the same generator the CLI uses for `csspgo run`
+// and `csspgo profile` request streams).
+func SeededRequests(n int, seed, bound int64) [][]int64 {
+	if bound <= 0 {
+		bound = 1
+	}
+	out := make([][]int64, n)
+	x := uint64(seed)*2654435761 + 12345
+	next := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % uint64(bound))
+	}
+	for i := range out {
+		out[i] = []int64{next(), next()}
+	}
+	return out
+}
+
+// NewRefresher builds the probed training binary once and returns a
+// refresh closure that re-samples the train stream and regenerates the CS
+// profile (trimmed + pre-inlined, like the FullCS pipeline) on every call,
+// together with a run manifest of that collection. When reg is non-nil,
+// each refresh also publishes profile-diff analytics against the previous
+// generation (quality.context_overlap and friends) into it, so the serving
+// daemon's /metrics exposes how much the profile moved between swaps.
+// The closure is safe for use from a single refresh goroutine.
+func NewRefresher(files []*source.File, train [][]int64, pc ProfileConfig, reg *obs.Registry) (func() (*profdata.Profile, *obs.Report, error), error) {
+	base, err := Build(files, BuildConfig{Probes: true})
+	if err != nil {
+		return nil, fmt.Errorf("pgo: build training binary: %w", err)
+	}
+	sizes := preinline.ExtractSizes(base.Bin)
+	var mu sync.Mutex
+	var prev *profdata.Profile
+	return func() (*profdata.Profile, *obs.Report, error) {
+		obsrv := NewRunObserver()
+		rpc := pc
+		rpc.Stacks = true
+		rpc.Trace = obsrv.Trace
+		rpc.Metrics = obsrv.Metrics
+		obsrv.ObserveProfile(&rpc)
+		samples, _, err := CollectSamples(base.Bin, train, rpc)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(rpc))
+		prof.TrimColdContexts(trimThreshold(prof))
+		preinline.Run(prof, sizes, preinline.DeriveParams(prof))
+
+		mu.Lock()
+		if prev != nil {
+			quality.DiffProfilesObserved(prev, prof, reg)
+			quality.DiffProfilesObserved(prev, prof, obsrv.Metrics)
+		}
+		prev = prof
+		mu.Unlock()
+
+		echo := map[string]any{
+			"requests": len(train), "period": rpc.Period, "pebs": rpc.PEBS,
+		}
+		return prof, obsrv.Report("csspgo serve", echo), nil
+	}, nil
+}
+
+// NewWorkloadRefresher is NewRefresher for a named synthetic workload at
+// the given request-stream scale.
+func NewWorkloadRefresher(name string, scale int, pc ProfileConfig, reg *obs.Registry) (func() (*profdata.Profile, *obs.Report, error), error) {
+	w, err := workloads.Load(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewRefresher(w.Files, w.Train, pc, reg)
+}

@@ -21,14 +21,17 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel profile generation + metric registry)"
-go test -race ./internal/sampling ./internal/pgo ./internal/obs
+echo "== go test -race (parallel profile generation + metric registry + profile serving)"
+go test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect
 
-echo "== fuzz smoke (profile readers, 5s per target)"
+echo "== fuzz smoke (profile readers + folded codecs, 5s per target)"
 # One target per invocation: go test rejects -fuzz patterns matching
 # multiple fuzz targets in a package.
 for target in FuzzReadText FuzzReadBinary; do
 	go test ./internal/profdata -run="^$target\$" -fuzz="^$target\$" -fuzztime=5s
+done
+for target in FuzzFoldedText FuzzFoldedBinary; do
+	go test ./internal/introspect -run="^$target\$" -fuzz="^$target\$" -fuzztime=5s
 done
 
 echo "== csspgo lint (examples)"
@@ -51,5 +54,62 @@ bin/csspgo build -o "$obsdir/app2.bin" -probes -profile "$obsdir/app.prof" -repo
 bin/csspgo report -validate-trace "$obsdir/trace.json" -min-spans 8
 bin/csspgo report -validate "$obsdir/a.json" "$obsdir/b.json"
 bin/csspgo report "$obsdir/a.json" "$obsdir/b.json" >/dev/null
+
+echo "== report -diff regression gate (exit codes)"
+# Hand-written manifests with fixed timings: a doubled stage wall time must
+# exit 2 under the default 10% threshold, a self-diff must exit 0, and a
+# loose threshold must forgive the regression.
+cat > "$obsdir/fast.json" <<'EOF'
+{"schema":"csspgo-run-report/v1","tool":"gate","stages":[{"name":"build","wall_ns":1000000,"count":1}]}
+EOF
+cat > "$obsdir/slow.json" <<'EOF'
+{"schema":"csspgo-run-report/v1","tool":"gate","stages":[{"name":"build","wall_ns":2000000,"count":1}]}
+EOF
+if bin/csspgo report -diff "$obsdir/fast.json" "$obsdir/slow.json" >/dev/null 2>&1; then
+	echo "report -diff missed a 2x regression" >&2
+	exit 1
+fi
+bin/csspgo report -diff "$obsdir/fast.json" "$obsdir/fast.json" >/dev/null
+bin/csspgo report -diff -threshold 150 "$obsdir/fast.json" "$obsdir/slow.json" >/dev/null
+
+echo "== inspect -diff (profile analytics on the sourcedrift example)"
+# Profiles from the pristine and CFG-changed sources must diff: self-diff
+# overlaps at 1.0, cross-diff strictly below.
+bin/csspgo build -o "$obsdir/pristine.bin" -probes examples/sourcedrift/pristine.ml >/dev/null
+bin/csspgo profile -bin "$obsdir/pristine.bin" -o "$obsdir/old.prof" -kind cs -n 60 >/dev/null
+bin/csspgo build -o "$obsdir/changed.bin" -probes examples/sourcedrift/cfgchanged.ml >/dev/null
+bin/csspgo profile -bin "$obsdir/changed.bin" -o "$obsdir/new.prof" -kind cs -n 60 >/dev/null
+bin/csspgo inspect -diff "$obsdir/old.prof" "$obsdir/old.prof" | grep -q "context overlap:      1.0000"
+if bin/csspgo inspect -diff "$obsdir/old.prof" "$obsdir/new.prof" | grep -q "context overlap:      1.0000"; then
+	echo "inspect -diff reported full overlap across a CFG change" >&2
+	exit 1
+fi
+
+echo "== serve smoke (HTTP daemon on an ephemeral port)"
+bin/csspgo serve -addr 127.0.0.1:0 -name quickstart examples/quickstart/app.ml > "$obsdir/serve.log" 2>&1 &
+servepid=$!
+url=""
+i=0
+while [ $i -lt 100 ]; do
+	url=$(sed -n 's|^serving profile .* on \(http://[^ ]*\).*$|\1|p' "$obsdir/serve.log" | head -n 1)
+	[ -n "$url" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$url" ]; then
+	echo "serve never came up:" >&2
+	cat "$obsdir/serve.log" >&2
+	kill "$servepid" 2>/dev/null || true
+	exit 1
+fi
+[ "$(curl -sf "$url/healthz")" = "ok" ]
+curl -sf "$url/metrics" | grep -q '^serve_requests '
+curl -sf "$url/metrics" | grep -q '^serve_swap_latency_ns{quantile="0.99"} '
+curl -sf "$url/flamegraph" > "$obsdir/flame.folded"
+cmp "$obsdir/flame.folded" internal/pgo/testdata/quickstart.folded
+curl -sf "$url/profiles/quickstart" > "$obsdir/served.prof"
+bin/csspgo inspect -profile "$obsdir/served.prof" -folded >/dev/null
+kill -INT "$servepid"
+wait "$servepid"
 
 echo "check: OK"
