@@ -23,13 +23,16 @@ bench:
 	$(GO) run ./cmd/experiments -run fig6 -report BENCH_4.json
 	$(GO) run ./cmd/experiments -run fig6,table1 -report BENCH_5.json
 
-# Fuzz smoke lane: native fuzzing of the profile readers and the folded
-# flamegraph codecs, one short burst per target (also part of `make check`).
+# Fuzz smoke lane: native fuzzing of the profile readers, the folded
+# flamegraph codecs, and the translation validator over random programs
+# through the full checked pipeline, one short burst per target (also part
+# of `make check`).
 fuzz:
 	$(GO) test ./internal/profdata -run='^FuzzReadText$$' -fuzz='^FuzzReadText$$' -fuzztime=5s
 	$(GO) test ./internal/profdata -run='^FuzzReadBinary$$' -fuzz='^FuzzReadBinary$$' -fuzztime=5s
 	$(GO) test ./internal/introspect -run='^FuzzFoldedText$$' -fuzz='^FuzzFoldedText$$' -fuzztime=5s
 	$(GO) test ./internal/introspect -run='^FuzzFoldedBinary$$' -fuzz='^FuzzFoldedBinary$$' -fuzztime=5s
+	$(GO) test ./internal/opt -run='^FuzzTranslationValidate$$' -fuzz='^FuzzTranslationValidate$$' -fuzztime=5s
 
 # Full hygiene gate: gofmt, vet, build, tests, and `csspgo lint` over every
 # example module (checked pipeline + profile/IR lint suite).

@@ -6,8 +6,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"csspgo/internal/analysis"
+	"csspgo/internal/analysis/tv"
+	"csspgo/internal/ir"
 	"csspgo/internal/opt"
 	"csspgo/internal/pgo"
 	"csspgo/internal/stale"
@@ -40,6 +43,9 @@ func cmdLint(args []string) error {
 	probes := fs.Bool("probes", true, "insert pseudo-probes before the pipeline")
 	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
 	verifyEach := fs.Bool("verify-each", true, "check IR invariants after every pass")
+	tvMode := fs.Bool("tv", false, "translation validation: prove every pass boundary semantically equivalent (effect analysis, CFG bisimulation, differential-execution oracle)")
+	inject := fs.String("inject", "", "miscompile-injection harness: corrupt the program as <kind>@<pass> and expect -tv to attribute it (kinds: "+strings.Join(tv.InjectionNames(), ", ")+")")
+	injectSeed := fs.Uint64("inject-seed", 1, "injection site selection seed")
 	staleMatch := fs.Bool("stale-matching", false, "build with anchor matching and report each stale function's rung on the degradation ladder")
 	minQuality := fs.Float64("min-match-quality", 0, "anchor-match acceptance threshold (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
@@ -53,8 +59,28 @@ func cmdLint(args []string) error {
 		Probes:                *probes,
 		UsePreInlineDecisions: *preinl,
 		VerifyEach:            *verifyEach,
+		ValidateSemantics:     *tvMode,
 		StaleMatching:         *staleMatch,
 		MinMatchQuality:       *minQuality,
+	}
+	var injectDesc string
+	if *inject != "" {
+		kindName, passName, ok := strings.Cut(*inject, "@")
+		if !ok {
+			return fmt.Errorf("lint: -inject wants <kind>@<pass>, got %q", *inject)
+		}
+		kind, err := tv.ParseInjection(kindName)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		if !passRegistered(passName) {
+			return fmt.Errorf("lint: -inject: unknown pass %q (registered: %s)", passName, strings.Join(opt.PassNames(), ", "))
+		}
+		cfg.InjectAfter = map[string]func(*ir.Program){passName: func(p *ir.Program) {
+			if d, applied := tv.Apply(p, kind, *injectSeed); applied {
+				injectDesc = d
+			}
+		}}
 	}
 	if *profPath != "" {
 		prof, err := loadProfile(*profPath)
@@ -98,6 +124,13 @@ func cmdLint(args []string) error {
 		opts.Probes = *probes
 		rep.Diagnostics = append(rep.Diagnostics, analysis.CheckProgram(res.IR, opts)...)
 	}
+	// Deterministic output: identical findings collapse and the rest sort by
+	// function/pass/check, so runs are byte-comparable in text and JSON alike.
+	rep.Diagnostics = analysis.DedupDiagnostics(rep.Diagnostics)
+	analysis.SortDiagnostics(rep.Diagnostics)
+	if rep.Violation != nil {
+		analysis.SortDiagnostics(rep.Violation.Diags)
+	}
 	for _, d := range rep.Diagnostics {
 		switch d.Sev {
 		case analysis.SevError:
@@ -105,6 +138,12 @@ func cmdLint(args []string) error {
 		case analysis.SevWarning:
 			rep.Warnings++
 		}
+	}
+	if *inject != "" {
+		if injectDesc == "" {
+			return fmt.Errorf("lint: -inject %s: no injection site found", *inject)
+		}
+		fmt.Fprintf(os.Stderr, "injected: %s\n", injectDesc)
 	}
 
 	if *jsonOut {
@@ -134,5 +173,20 @@ func cmdLint(args []string) error {
 	if rep.Errors > 0 {
 		return fmt.Errorf("lint: %d error(s)", rep.Errors)
 	}
+	if injectDesc != "" {
+		// The harness contract: an injected miscompile that survives the
+		// validator is a false negative and must fail loudly.
+		return fmt.Errorf("lint: injected miscompile went undetected (%s)", injectDesc)
+	}
 	return nil
+}
+
+// passRegistered reports whether name is a registered optimization pass.
+func passRegistered(name string) bool {
+	for _, n := range opt.PassNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }

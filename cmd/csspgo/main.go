@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-stale-matching [-min-match-quality Q]] [-trace t.json] [-report r.json] src.ml...
+//	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-checked] [-stale-matching [-min-match-quality Q]] [-trace t.json] [-report r.json] src.ml...
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
 //	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N] [-v] [-trace t.json] [-report r.json]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin | -profile app.prof [-folded | -top N | -coverage -bin app.bin] [-json] | -diff old.prof new.prof [-json]
-//	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
+//	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-tv [-inject kind@pass [-inject-seed N]]] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
 //	csspgo report  a.json [b.json] | csspgo report -diff [-threshold PCT] a.json b.json | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
 //	csspgo serve   -addr :8572 [-workload hhvm -scale 1 | src.ml... [-n 60 -seed 1 -bound 1000]] [-name NAME] [-refresh 30s] [-period 797] [-workers N]
 //
@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -167,6 +168,7 @@ func cmdBuild(args []string) error {
 	instrument := fs.Bool("instrument", false, "materialize probes as counters (Instr PGO training)")
 	profPath := fs.String("profile", "", "input profile (text format)")
 	preinl := fs.Bool("preinline", false, "honor pre-inliner decisions in the profile")
+	checked := fs.Bool("checked", false, "checked build: verify IR invariants and translation-validate every pass boundary; the first violation aborts the build naming the pass")
 	staleMatch := fs.Bool("stale-matching", false, "recover stale function profiles via anchor matching instead of dropping them")
 	minQuality := fs.Float64("min-match-quality", 0, "anchor-match acceptance threshold (0 = default)")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON of the build pipeline")
@@ -184,6 +186,8 @@ func cmdBuild(args []string) error {
 		Probes:                *probes || *instrument,
 		Instrument:            *instrument,
 		UsePreInlineDecisions: *preinl,
+		VerifyEach:            *checked,
+		ValidateSemantics:     *checked,
 		StaleMatching:         *staleMatch,
 		MinMatchQuality:       *minQuality,
 	}
@@ -199,6 +203,11 @@ func cmdBuild(args []string) error {
 	}
 	res, err := pgo.Build(files, cfg)
 	if err != nil {
+		var pv *opt.PassViolation
+		if errors.As(err, &pv) {
+			fmt.Fprintln(os.Stderr, pv.Report())
+			return fmt.Errorf("build: checked build failed after pass %q", pv.Pass)
+		}
 		return err
 	}
 	f, err := os.Create(*out)

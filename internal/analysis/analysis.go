@@ -14,6 +14,7 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"csspgo/internal/ir"
 )
@@ -113,7 +114,10 @@ func CheckFunction(f *ir.Function, opts Options) []Diagnostic {
 }
 
 // CheckProgram verifies structural invariants (Program.Verify) and runs
-// CheckFunction over every function, in definition order.
+// CheckFunction over every function, in definition order. Every finding is
+// attributed to its function (checks that report program-scoped findings
+// keep Func empty), and findings reported identically by overlapping checks
+// are deduplicated.
 func CheckProgram(p *ir.Program, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	if err := p.Verify(); err != nil {
@@ -126,9 +130,63 @@ func CheckProgram(p *ir.Program, opts Options) []Diagnostic {
 			diags = append(diags, Diagnostic{Sev: SevError, Check: "structure", Func: f.Name, Block: -1, Msg: err.Error()})
 			continue
 		}
-		diags = append(diags, CheckFunction(f, opts)...)
+		fd := CheckFunction(f, opts)
+		for i := range fd {
+			if fd[i].Func == "" {
+				fd[i].Func = f.Name
+			}
+		}
+		diags = append(diags, fd...)
 	}
-	return diags
+	return DedupDiagnostics(diags)
+}
+
+// diagKey is a Diagnostic's full identity, for dedup.
+func diagKey(d Diagnostic) string {
+	return fmt.Sprintf("%d\x00%s\x00%s\x00%s\x00%d\x00%s", d.Sev, d.Check, d.Pass, d.Func, d.Block, d.Msg)
+}
+
+// DedupDiagnostics removes exact duplicates (same severity, check, pass,
+// function, block and message), preserving first-occurrence order —
+// overlapping checks legitimately rediscover the same finding.
+func DedupDiagnostics(diags []Diagnostic) []Diagnostic {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		k := diagKey(d)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// SortDiagnostics orders findings deterministically for output: by function,
+// then pass, check, block and message, with severity (errors first) breaking
+// remaining ties. Reporting tools sort before printing so text and JSON
+// output are stable across map-iteration orders.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // ErrorCount returns how many diagnostics are SevError.

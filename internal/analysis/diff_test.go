@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"csspgo/internal/ir"
+)
+
+func TestDiffLinesIdentical(t *testing.T) {
+	text := "a\nb\nc\n"
+	d := DiffLines(text, text)
+	if strings.Contains(d, "- ") || strings.Contains(d, "+ ") {
+		t.Fatalf("identical inputs produced changes:\n%s", d)
+	}
+	for _, line := range strings.Split(strings.TrimRight(d, "\n"), "\n") {
+		if !strings.HasPrefix(line, "  ") {
+			t.Fatalf("shared line not prefixed with two spaces: %q", line)
+		}
+	}
+}
+
+func TestDiffLinesChange(t *testing.T) {
+	before := "entry:\n  r1 = const 1\n  ret r1\n"
+	after := "entry:\n  r1 = const 2\n  ret r1\n"
+	d := DiffLines(before, after)
+	want := "  entry:\n- " + "  r1 = const 1\n+ " + "  r1 = const 2\n  " + "  ret r1\n"
+	if d != want {
+		t.Fatalf("diff:\n%s\nwant:\n%s", d, want)
+	}
+}
+
+func TestDiffLinesInsertDelete(t *testing.T) {
+	d := DiffLines("a\nb\n", "a\nx\nb\n")
+	if !strings.Contains(d, "+ x\n") || strings.Contains(d, "- ") {
+		t.Fatalf("pure insertion rendered wrong:\n%s", d)
+	}
+	d = DiffLines("a\nx\nb\n", "a\nb\n")
+	if !strings.Contains(d, "- x\n") || strings.Contains(d, "+ ") {
+		t.Fatalf("pure deletion rendered wrong:\n%s", d)
+	}
+}
+
+func TestDiffLinesEmptySides(t *testing.T) {
+	if d := DiffLines("", "new\n"); d != "+ new\n" {
+		t.Fatalf("empty before: %q", d)
+	}
+	if d := DiffLines("old\n", ""); d != "- old\n" {
+		t.Fatalf("empty after: %q", d)
+	}
+	if d := DiffLines("", ""); d != "" {
+		t.Fatalf("empty both: %q", d)
+	}
+}
+
+func TestSortDiagnosticsDeterministic(t *testing.T) {
+	diags := []Diagnostic{
+		{Sev: SevWarning, Check: "z", Func: "b", Block: 2, Msg: "m1"},
+		{Sev: SevError, Check: "a", Func: "b", Block: 2, Msg: "m2"},
+		{Sev: SevError, Check: "a", Func: "a", Block: 5, Msg: "m3"},
+		{Sev: SevWarning, Check: "a", Func: "a", Block: 1, Msg: "m4"},
+		{Sev: SevError, Check: "a", Func: "a", Block: 1, Msg: "m5"},
+	}
+	SortDiagnostics(diags)
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = d.Msg
+	}
+	want := []string{"m5", "m4", "m3", "m2", "m1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDedupDiagnostics(t *testing.T) {
+	d := Diagnostic{Sev: SevError, Check: "flow-conservation", Func: "main", Block: 3, Msg: "imbalance"}
+	other := d
+	other.Msg = "different"
+	out := DedupDiagnostics([]Diagnostic{d, other, d, d})
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d, want 2: %v", len(out), out)
+	}
+	if out[0].Msg != "imbalance" || out[1].Msg != "different" {
+		t.Fatalf("dedup broke first-occurrence order: %v", out)
+	}
+}
+
+// CheckProgram must attribute every per-function finding to its function and
+// collapse duplicates from overlapping checks.
+func TestCheckProgramAttributesAndDedups(t *testing.T) {
+	p := ir.NewProgram()
+	f := buildDiamond(t)
+	// Orphan an extra block: the unreachable lint fires for it.
+	orphan := f.NewBlock()
+	orphan.Term = ir.Terminator{Kind: ir.TermReturn, Val: ir.NoReg}
+	p.AddFunc(f)
+
+	opts := DefaultOptions()
+	opts.Probes = false
+	diags := CheckProgram(p, opts)
+	if len(diags) == 0 {
+		t.Fatal("expected findings on the orphaned block")
+	}
+	for _, d := range diags {
+		// Program-scoped structure findings legitimately have no function.
+		if d.Func == "" && d.Check != "structure" {
+			t.Fatalf("finding without function attribution: %v", d)
+		}
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		k := diagKey(d)
+		if seen[k] {
+			t.Fatalf("duplicate finding survived dedup: %v", d)
+		}
+		seen[k] = true
+	}
+}

@@ -64,6 +64,12 @@ const (
 	MOptSplitBlocks       = "opt.split.blocks"
 	MOptLayoutFuncs       = "opt.layout.funcs"
 
+	// internal/analysis/tv — translation validation (checked builds).
+	MTVValidateNS      = "analysis.tv.validate_ns" // per-boundary validator cost
+	MTVPassesValidated = "analysis.tv.passes_validated"
+	MTVOracleRuns      = "analysis.tv.oracle_runs"
+	MTVViolations      = "analysis.tv.violations"
+
 	// internal/profdata — lenient profile readers.
 	MProfdataSkippedRecords = "profdata.read.skipped_records"
 	MProfdataSkippedLines   = "profdata.read.skipped_lines"
@@ -113,6 +119,7 @@ func CatalogNames() []string {
 		MOptTailMerges, MOptTailMergeBlocked, MOptIfConverts,
 		MOptIfConvertBlocked, MOptUnrolled, MOptLICMHoisted,
 		MOptDCERemoved, MOptTailCalls, MOptSplitBlocks, MOptLayoutFuncs,
+		MTVValidateNS, MTVPassesValidated, MTVOracleRuns, MTVViolations,
 		MProfdataSkippedRecords, MProfdataSkippedLines,
 		MSimCycles, MSimInstructions, MSimTakenBranches,
 		MSimMispredicts, MSimICacheMisses, MSimSamples,

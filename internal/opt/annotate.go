@@ -30,7 +30,7 @@ type AnnotateStats struct {
 // carry no checksum, so drifted profiles silently annotate wrong blocks —
 // the failure mode pseudo-instrumentation eliminates.
 // annotatePass: raw profile counts are not flow-conserved until inference.
-var annotatePass = registerPass("annotate", flowPerturbs)
+var annotatePass = registerPass("annotate", flowPerturbs, semStructural)
 
 func Annotate(p *ir.Program, prof *profdata.Profile) AnnotateStats {
 	return AnnotateWithMatcher(p, prof, nil)

@@ -3,9 +3,12 @@ package opt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"csspgo/internal/analysis"
+	"csspgo/internal/analysis/tv"
 	"csspgo/internal/ir"
+	"csspgo/internal/obs"
 )
 
 // PassViolation is the checked pipeline mode's failure report: the first
@@ -48,21 +51,29 @@ func (v *PassViolation) Report() string {
 // checker implements Config.VerifyEach: after every registered pass it runs
 // Function.Verify plus the analysis suite over the whole program and stops
 // the pipeline at the first error-severity finding, keeping per-function IR
-// snapshots from the last clean pass boundary for the report.
+// snapshots from the last clean pass boundary for the report. With
+// Config.ValidateSemantics it additionally runs the translation validator
+// (internal/analysis/tv) at every boundary, under the pass's registered
+// semantic contract.
 type checker struct {
 	p      *ir.Program
+	cfg    *Config
 	probed bool
 	flowOK bool              // a restoring pass's flow guarantee is in force
 	snaps  map[string]string // function name -> last clean IR snapshot
+	tvv    *tv.Validator
 }
 
-func newChecker(p *ir.Program) *checker {
-	c := &checker{p: p, snaps: map[string]string{}}
+func newChecker(p *ir.Program, cfg *Config) *checker {
+	c := &checker{p: p, cfg: cfg, snaps: map[string]string{}}
 	for _, f := range p.Functions() {
 		if f.NumProbes > 0 {
 			c.probed = true
 		}
 		c.snaps[f.Name] = f.String()
+	}
+	if cfg.ValidateSemantics {
+		c.tvv = tv.NewValidator(p, cfg.TVInputs, cfg.TVMaxSteps)
 	}
 	return c
 }
@@ -104,8 +115,64 @@ func (c *checker) after(pass PassID) error {
 			After:  f.String(),
 		}
 	}
+	if err := c.validateSemantics(pass); err != nil {
+		return err
+	}
 	for _, f := range c.p.Functions() {
 		c.snaps[f.Name] = f.String()
 	}
 	return nil
+}
+
+// validateSemantics runs the translation validator at this pass boundary
+// (no-op unless Config.ValidateSemantics), publishing its cost and verdict
+// under the analysis.tv.* metrics and a "tv.<pass>" trace span.
+func (c *checker) validateSemantics(pass PassID) error {
+	if c.tvv == nil {
+		return nil
+	}
+	mode := tv.ModeRestructure
+	if pass.sem == semStructural {
+		mode = tv.ModeStructural
+	}
+	sp := c.cfg.Trace.Span("tv."+pass.name, obs.A("mode", modeName(mode)))
+	before := c.tvv.Stats
+	start := time.Now()
+	diags := c.tvv.ValidatePass(pass.name, c.p, mode)
+	elapsed := time.Since(start)
+	sp.End()
+
+	reg := c.cfg.Metrics
+	reg.Histogram(obs.MTVValidateNS).Observe(elapsed.Nanoseconds())
+	reg.Counter(obs.MTVPassesValidated).Add(1)
+	reg.Counter(obs.MTVOracleRuns).Add(int64(c.tvv.Stats.OracleRuns - before.OracleRuns))
+	if len(diags) == 0 {
+		return nil
+	}
+	reg.Counter(obs.MTVViolations).Add(int64(analysis.ErrorCount(diags)))
+	for i := range diags {
+		diags[i].Pass = pass.name
+	}
+	fn := "main"
+	if e := analysis.FirstError(diags); e != nil && e.Func != "" {
+		fn = e.Func
+	}
+	var after string
+	if f := c.p.Funcs[fn]; f != nil {
+		after = f.String()
+	}
+	return &PassViolation{
+		Pass:   pass.name,
+		Func:   fn,
+		Diags:  diags,
+		Before: c.snaps[fn],
+		After:  after,
+	}
+}
+
+func modeName(m tv.Mode) string {
+	if m == tv.ModeStructural {
+		return "structural"
+	}
+	return "restructure"
 }

@@ -63,7 +63,7 @@ func TestVerifyEachCleanPipeline(t *testing.T) {
 // exactly that pass and function, with a usable before/after diff.
 func TestVerifyEachAttributesEdgeWeightCorruption(t *testing.T) {
 	p, cfg := checkedConfig(t)
-	cfg.testCorruptAfter = map[string]func(*ir.Program){
+	cfg.InjectAfter = map[string]func(*ir.Program){
 		// layout preserves the flow guarantee inference established right
 		// before it, so the checker is watching flow when layout "breaks".
 		"layout": func(p *ir.Program) {
@@ -108,7 +108,7 @@ func TestVerifyEachAttributesEdgeWeightCorruption(t *testing.T) {
 // Second corruption class from the ISSUE: a pass mangles a probe payload.
 func TestVerifyEachAttributesProbePayloadCorruption(t *testing.T) {
 	p, cfg := checkedConfig(t)
-	cfg.testCorruptAfter = map[string]func(*ir.Program){
+	cfg.InjectAfter = map[string]func(*ir.Program){
 		"unroll": func(p *ir.Program) {
 			f := p.Funcs["main"]
 			for _, b := range f.Blocks {
@@ -141,7 +141,7 @@ func TestVerifyEachAttributesProbePayloadCorruption(t *testing.T) {
 func TestCorruptionUndetectedWithoutVerifyEach(t *testing.T) {
 	p, cfg := checkedConfig(t)
 	cfg.VerifyEach = false
-	cfg.testCorruptAfter = map[string]func(*ir.Program){
+	cfg.InjectAfter = map[string]func(*ir.Program){
 		"layout": func(p *ir.Program) {
 			f := p.Funcs["main"]
 			for _, b := range f.ReachableOrder() {

@@ -110,17 +110,31 @@ type Config struct {
 	// with a *PassViolation naming the offending pass and function, with a
 	// before/after IR diff of that function.
 	VerifyEach bool
+	// ValidateSemantics enables the translation-validation tier on top of
+	// VerifyEach: after every pass, the internal/analysis/tv validator
+	// proves the before/after IR semantically equivalent under the pass's
+	// registered contract (effect-summary checks, CFG bisimulation for
+	// structure-preserving passes, and a differential-execution oracle on
+	// seeded corpus inputs). Violations abort with a *PassViolation exactly
+	// like VerifyEach findings. Implies checked mode.
+	ValidateSemantics bool
+	// TVInputs sizes the oracle corpus per pass boundary (0 = tv default).
+	TVInputs int
+	// TVMaxSteps bounds one interpreted oracle run (0 = tv default).
+	TVMaxSteps uint64
 	// Trace receives one child span per executed pass ("opt.<pass>"), in
-	// checked and unchecked mode alike (nil = no tracing).
+	// checked and unchecked mode alike (nil = no tracing), plus a
+	// "tv.<pass>" child per validated boundary when ValidateSemantics is on.
 	Trace *obs.Span
 	// Metrics is the unified metric registry the pipeline's Stats publish
 	// into at the end of Optimize (nil = no publication).
 	Metrics *obs.Registry
 
-	// testCorruptAfter lets tests of checked mode inject a deliberate
-	// violation right after the named pass runs and before its check fires,
-	// to prove attribution lands on that pass. Nil outside tests.
-	testCorruptAfter map[string]func(*ir.Program)
+	// InjectAfter runs a deliberate program mutation right after the named
+	// pass runs and before its checks fire — the miscompile-injection
+	// harness (tv.Apply) and checked-mode tests use it to prove detection
+	// and attribution land on that pass. Nil in production builds.
+	InjectAfter map[string]func(*ir.Program)
 }
 
 // TrainingConfig is the -O2, no-PGO pipeline used to build profiling

@@ -7,7 +7,7 @@ import "csspgo/internal/ir"
 // Returns the number of instructions deleted.
 // dcePass removes only pure unused instructions — the CFG, block weights and
 // edge weights are untouched, so flow conservation is preserved.
-var dcePass = registerPass("dce", flowPreserves)
+var dcePass = registerPass("dce", flowPreserves, semStructural)
 
 func DCE(f *ir.Function) int {
 	removed := 0

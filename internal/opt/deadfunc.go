@@ -8,7 +8,7 @@ import "csspgo/internal/ir"
 // (the code-size payoff the pre-inliner's binary-extracted sizes predict).
 // Returns the number of functions dropped.
 // deadFuncPass drops whole functions; surviving bodies are untouched.
-var deadFuncPass = registerPass("drop-dead-functions", flowPreserves)
+var deadFuncPass = registerPass("drop-dead-functions", flowPreserves, semStructural)
 
 func DropDeadFunctions(p *ir.Program) int {
 	reach := map[string]bool{"main": true}

@@ -192,7 +192,7 @@ func promoteICall(p *ir.Program, f *ir.Function, b *ir.Block, idx int, dominant 
 // don't promote every lukewarm site just because their counts are precise.
 // icpPass splits blocks and adds compare/branch diamonds with estimated
 // weights — not flow-conserved until the next inference run.
-var icpPass = registerPass("icp", flowPerturbs)
+var icpPass = registerPass("icp", flowPerturbs, semRestructures)
 
 func ICPProgram(p *ir.Program, prof *profdata.Profile, params ICPParams) int {
 	if hot := hotCallThreshold(prof); hot > params.MinCount {

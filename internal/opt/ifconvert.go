@@ -23,7 +23,7 @@ type IfConvertResult struct {
 //
 // maxArmInstrs bounds each arm's real instruction count.
 // ifConvertPass collapses diamonds to selects, merging arm weights.
-var ifConvertPass = registerPass("if-convert", flowPerturbs)
+var ifConvertPass = registerPass("if-convert", flowPerturbs, semRestructures)
 
 func IfConvert(f *ir.Function, barrier BarrierStrength, maxArmInstrs int) IfConvertResult {
 	var res IfConvertResult

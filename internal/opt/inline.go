@@ -195,7 +195,7 @@ func appendSite(chain, site *ir.ProbeSite) *ir.ProbeSite {
 // cold ones. ThinLTO partitioning is respected: cross-module callees
 // inline only when small enough to have been imported by summary.
 // inlinePass grafts scaled callee CFGs into callers.
-var inlinePass = registerPass("inline", flowPerturbs)
+var inlinePass = registerPass("inline", flowPerturbs, semRestructures)
 
 func BottomUpInline(p *ir.Program, params InlineParams, profiled bool) int {
 	cg := ir.BuildCallGraph(p)

@@ -129,7 +129,7 @@ func Layout(f *ir.Function) bool {
 // functions were reordered.
 // layoutPass only reorders blocks; weights and edges are untouched, so the
 // flow guarantee established by inference survives it.
-var layoutPass = registerPass("layout", flowPreserves)
+var layoutPass = registerPass("layout", flowPreserves, semStructural)
 
 func LayoutProgram(p *ir.Program) int {
 	n := 0

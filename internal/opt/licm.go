@@ -16,7 +16,7 @@ import "csspgo/internal/ir"
 //
 // Returns the number of instructions hoisted.
 // licmPass may materialize preheader blocks without profile weights.
-var licmPass = registerPass("licm", flowPerturbs)
+var licmPass = registerPass("licm", flowPerturbs, semRestructures)
 
 func LICM(f *ir.Function) int {
 	hoisted := 0

@@ -11,8 +11,8 @@ import (
 // register here; passes defined in this package register next to their
 // entry point.
 var (
-	inferencePass   = registerPass("inference", flowRestores)
-	unreachablePass = registerPass("remove-unreachable", flowPreserves)
+	inferencePass   = registerPass("inference", flowRestores, semStructural)
+	unreachablePass = registerPass("remove-unreachable", flowPreserves, semStructural)
 )
 
 // runner sequences registered passes over one program, optionally checking
@@ -33,8 +33,8 @@ func (r *runner) run(id PassID, fn func()) error {
 	sp := r.cfg.Trace.Span("opt." + id.name)
 	defer sp.End()
 	fn()
-	if r.cfg.testCorruptAfter != nil {
-		if corrupt := r.cfg.testCorruptAfter[id.name]; corrupt != nil {
+	if r.cfg.InjectAfter != nil {
+		if corrupt := r.cfg.InjectAfter[id.name]; corrupt != nil {
 			corrupt(r.p)
 		}
 	}
@@ -62,8 +62,8 @@ func Optimize(p *ir.Program, cfg *Config) (*Stats, error) {
 		}
 	}
 	r := &runner{p: p, cfg: cfg}
-	if cfg.VerifyEach {
-		r.check = newChecker(p)
+	if cfg.VerifyEach || cfg.ValidateSemantics {
+		r.check = newChecker(p, cfg)
 	}
 	prof := cfg.Profile
 	var matcher *stale.Matcher

@@ -22,6 +22,26 @@ const (
 	flowRestores
 )
 
+// semContract says what a pass is allowed to do to program semantics — the
+// translation validator (Config.ValidateSemantics) picks its proof
+// obligation per pass from this registration, the same way checked mode
+// picks the flow check from flowEffect.
+type semContract uint8
+
+const (
+	// semStructural: the pass may delete dead code, reorder blocks, mark
+	// sections or rewrite metadata, but every surviving block must keep its
+	// I/O behavior — validated by effect-summary equality, CFG bisimulation
+	// and the differential oracle (annotate, inference, DCE, TCE, layout,
+	// split, cleanup, dead-function dropping).
+	semStructural semContract = iota
+	// semRestructures: the pass rewrites the CFG wholesale (inliners, ICP,
+	// SimplifyCFG, LICM, unroll, if-convert) — block-level bisimulation
+	// would reject legal rewrites, so effect-growth checks and the
+	// differential oracle carry the proof alone.
+	semRestructures
+)
+
 // PassID names a registered optimization pass. Every pass entry point
 // registers itself once; pipeline and checked mode refer to passes only
 // through their registration, which is what makes violation attribution
@@ -29,6 +49,7 @@ const (
 type PassID struct {
 	name string
 	flow flowEffect
+	sem  semContract
 }
 
 // Name returns the registered pass name.
@@ -38,11 +59,11 @@ var passRegistry = map[string]PassID{}
 
 // registerPass records a pass name at init time. Duplicate names are a
 // programming error: attribution would be ambiguous.
-func registerPass(name string, fe flowEffect) PassID {
+func registerPass(name string, fe flowEffect, sc semContract) PassID {
 	if _, dup := passRegistry[name]; dup {
 		panic(fmt.Sprintf("opt: duplicate pass registration %q", name))
 	}
-	id := PassID{name: name, flow: fe}
+	id := PassID{name: name, flow: fe, sem: sc}
 	passRegistry[name] = id
 	return id
 }

@@ -21,7 +21,7 @@ import (
 // counted into st (which may be nil). A non-nil matcher lets stale contexts
 // degrade via anchor matching instead of merging straight into the base.
 // sampleInlinePass rewrites caller CFGs from context profiles.
-var sampleInlinePass = registerPass("sample-inline", flowPerturbs)
+var sampleInlinePass = registerPass("sample-inline", flowPerturbs, semRestructures)
 
 func SampleInlineCS(p *ir.Program, prof *profdata.Profile, m *stale.Matcher, st *Stats) int {
 	if !prof.CS || len(prof.Contexts) == 0 {

@@ -18,7 +18,7 @@ type SimplifyResult struct {
 // merge (the probes' distinct signatures preserve original control flow).
 // simplifyPass merges chains and removes empty blocks, folding weights in
 // ways that do not keep edge flows conserved.
-var simplifyPass = registerPass("simplify-cfg", flowPerturbs)
+var simplifyPass = registerPass("simplify-cfg", flowPerturbs, semRestructures)
 
 func SimplifyCFG(f *ir.Function, tailMerge bool, barrier BarrierStrength) SimplifyResult {
 	var res SimplifyResult

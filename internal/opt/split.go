@@ -37,7 +37,7 @@ func Split(f *ir.Function) int {
 
 // SplitProgram splits every function; returns total blocks marked cold.
 // splitPass only re-sections and reorders blocks; weights are untouched.
-var splitPass = registerPass("split", flowPreserves)
+var splitPass = registerPass("split", flowPreserves, semStructural)
 
 func SplitProgram(p *ir.Program) int {
 	n := 0

@@ -8,7 +8,7 @@ import "csspgo/internal/ir"
 // function's caller frame disappears), exercising the profiler's
 // missing-frame inferrer. Returns the number of calls marked.
 // tcePass only flags calls as tail calls; the CFG is untouched.
-var tcePass = registerPass("tce", flowPreserves)
+var tcePass = registerPass("tce", flowPreserves, semStructural)
 
 func TCE(f *ir.Function) int {
 	marked := 0

@@ -25,7 +25,7 @@ type UnrollParams struct {
 //
 // Returns the number of loops unrolled.
 // unrollPass replicates loop bodies and rescales weights heuristically.
-var unrollPass = registerPass("unroll", flowPerturbs)
+var unrollPass = registerPass("unroll", flowPerturbs, semRestructures)
 
 func Unroll(f *ir.Function, p UnrollParams) int {
 	if p.Factor < 2 {

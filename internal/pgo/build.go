@@ -9,6 +9,8 @@ package pgo
 import (
 	"fmt"
 
+	"csspgo/internal/analysis"
+	"csspgo/internal/analysis/tv"
 	"csspgo/internal/codegen"
 	"csspgo/internal/ir"
 	"csspgo/internal/irgen"
@@ -59,6 +61,14 @@ type BuildConfig struct {
 	// violation aborts the build with an *opt.PassViolation attributing the
 	// offending pass.
 	VerifyEach bool
+	// ValidateSemantics enables the translation-validation tier on top of
+	// checked mode: every pass boundary (probe insertion included) must prove
+	// before/after IR semantically equivalent, or the build aborts with an
+	// *opt.PassViolation attributing the pass.
+	ValidateSemantics bool
+	// InjectAfter mutates the program right after the named pass — the
+	// miscompile-injection harness. Nil in production builds.
+	InjectAfter map[string]func(*ir.Program)
 	// StaleMatching enables anchor-based stale-profile matching: stale
 	// function profiles degrade down the ladder (anchor-matched, then flat
 	// fallback) instead of being dropped.
@@ -93,9 +103,35 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 		return nil, fmt.Errorf("pgo: lower: %w", err)
 	}
 	if cfg.Probes {
+		var preProbe *ir.Program
+		if cfg.ValidateSemantics {
+			preProbe = ir.CloneProgram(prog)
+		}
 		sp = bsp.Span("probe_insert")
 		probe.InsertProgram(prog)
 		sp.End()
+		// Probe insertion must be semantically invisible: validate it like
+		// any other structural pass boundary.
+		if preProbe != nil {
+			vv := tv.NewValidator(preProbe, 0, 0)
+			if diags := vv.ValidatePass("probe-insert", prog, tv.ModeStructural); len(diags) > 0 {
+				fn := "main"
+				if e := analysis.FirstError(diags); e != nil && e.Func != "" {
+					fn = e.Func
+				}
+				for i := range diags {
+					diags[i].Pass = "probe-insert"
+				}
+				var after string
+				if f := prog.Funcs[fn]; f != nil {
+					after = f.String()
+				}
+				return nil, fmt.Errorf("pgo: optimize: %w", &opt.PassViolation{
+					Pass: "probe-insert", Func: fn, Diags: diags,
+					Before: vv.BaselineIR(fn), After: after,
+				})
+			}
+		}
 	}
 	fresh := ir.CloneProgram(prog)
 
@@ -112,6 +148,8 @@ func Build(files []*source.File, cfg BuildConfig) (*BuildResult, error) {
 		Layout:                cfg.Profile != nil,
 		Split:                 cfg.Profile != nil,
 		VerifyEach:            cfg.VerifyEach,
+		ValidateSemantics:     cfg.ValidateSemantics,
+		InjectAfter:           cfg.InjectAfter,
 		Metrics:               cfg.Metrics,
 	}
 	switch {

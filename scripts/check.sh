@@ -33,12 +33,39 @@ done
 for target in FuzzFoldedText FuzzFoldedBinary; do
 	go test ./internal/introspect -run="^$target\$" -fuzz="^$target\$" -fuzztime=5s
 done
+go test ./internal/opt -run='^FuzzTranslationValidate$' -fuzz='^FuzzTranslationValidate$' -fuzztime=5s
 
 echo "== csspgo lint (examples)"
 go build -o bin/csspgo ./cmd/csspgo
 for f in examples/*/*.ml; do
 	out=$(bin/csspgo lint "$f")
 	echo "$f: $(echo "$out" | tail -n 1)"
+done
+
+echo "== translation validation (checked builds over every example)"
+# Every pass boundary of every example must prove semantically equivalent:
+# zero violations, i.e. zero validator false positives.
+for f in examples/*/*.ml; do
+	out=$(bin/csspgo lint -tv "$f")
+	echo "$f [tv]: $(echo "$out" | tail -n 1)"
+done
+
+echo "== miscompile-injection matrix (every injected bug must be caught + attributed)"
+tvsrc=examples/quickstart/app.ml
+for kind in drop-branch swap-successors effectful-probe drop-store clobber-return; do
+	for pass in dce simplify-cfg; do
+		if out=$(bin/csspgo lint -tv -inject "$kind@$pass" "$tvsrc" 2>&1); then
+			echo "tv missed injected $kind@$pass" >&2
+			echo "$out" >&2
+			exit 1
+		fi
+		if ! echo "$out" | grep -q "pass \"$pass\" broke"; then
+			echo "tv misattributed $kind@$pass:" >&2
+			echo "$out" >&2
+			exit 1
+		fi
+		echo "$kind@$pass: detected, attributed to $pass"
+	done
 done
 
 echo "== observability (trace + run report on a real workload)"
