@@ -291,6 +291,57 @@ func BenchmarkParallelProfileGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingGeneration contrasts the legacy batch path (materialize
+// samples, then shard) with the streaming pipeline (chunked dispatch to
+// pooled unwinder workers) on the Fig. 6 server corpus at an equal worker
+// count. Output profiles are byte-identical (the equivalence tests pin
+// that); this measures samples/sec and allocation discipline only.
+func BenchmarkStreamingGeneration(b *testing.B) {
+	type corpus struct {
+		bin     *machine.Prog
+		samples []sim.Sample
+	}
+	var corpora []corpus
+	total := 0
+	for _, name := range workloads.ServerNames() {
+		w, err := workloads.Load(name, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pgo.Build(w.Files, pgo.BuildConfig{Probes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples, _, err := pgo.CollectSamples(res.Bin, w.Train, pgo.DefaultProfileConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpora = append(corpora, corpus{res.Bin, samples})
+		total += len(samples)
+	}
+	for _, mode := range []struct {
+		name   string
+		stream bool
+	}{{"batch", false}, {"stream", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := sampling.DefaultCSSPGOOptions()
+			opts.Stream = mode.stream
+			opts.Workers = 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range corpora {
+					sampling.GenerateCSSPGO(c.bin, c.samples, opts)
+				}
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(total)*float64(b.N)/sec, "samples/s")
+			}
+		})
+	}
+}
+
 // BenchmarkInference measures the MCF profile-inference pass.
 func BenchmarkInference(b *testing.B) {
 	w, err := workloads.Load("adfinder", 1)

@@ -7,7 +7,7 @@
 //
 //	csspgo build   -o app.bin [-probes] [-instrument] [-profile p.prof] [-preinline] [-checked] [-stale-matching [-min-match-quality Q]] [-trace t.json] [-report r.json] src.ml...
 //	csspgo run     -bin app.bin [-args 100,7] [-n 50 -seed 1 -bound 1000] [-stats]
-//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N] [-v] [-trace t.json] [-report r.json]
+//	csspgo profile -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200 -seed 1 -bound 1000] [-period 797] [-workers N] [-stream=true] [-chunk-size N] [-v] [-trace t.json] [-report r.json]
 //	csspgo preinline -bin app.bin -profile app.prof -o app.prof
 //	csspgo inspect -bin app.bin | -profile app.prof [-folded | -top N | -coverage -bin app.bin] [-json] | -diff old.prof new.prof [-json]
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-tv [-inject kind@pass [-inject-seed N]]] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
@@ -300,11 +300,16 @@ func cmdProfile(args []string) error {
 	period := fs.Uint64("period", 797, "sampling period (taken branches)")
 	pebs := fs.Bool("pebs", true, "precise sampling (synchronized stacks)")
 	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS, 1 = serial; output is byte-identical for any value)")
+	stream := fs.Bool("stream", true, "stream samples to unwinder workers during collection (false = materialize, then generate; output is byte-identical)")
+	chunkSize := fs.Int("chunk-size", 0, "streamed-chunk size in samples (0 = default)")
 	verbose := fs.Bool("v", false, "print an unwinder/sampling statistics summary")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON of profile generation")
 	reportPath := fs.String("report", "", "write a machine-readable run manifest (JSON)")
 	_ = fs.Parse(args)
 
+	if err := sampling.ValidateWorkers(*workers); err != nil {
+		return err
+	}
 	obsrv := pgo.NewRunObserver()
 	bin, err := loadBin(*binPath)
 	if err != nil {
@@ -336,33 +341,60 @@ func cmdProfile(args []string) error {
 		}
 		csp := obsrv.Trace.Span("collect_samples", obs.A("requests", len(reqs)))
 		m := sim.New(bin, sim.DefaultCostParams(), cfg)
+
+		// With streaming on (the default), the CS unwinder consumes chunks
+		// live from the PMU instead of a materialized sample slice; the
+		// resulting profile is byte-identical either way.
+		var csSink *sampling.CSSPGOStream
+		csOpts := sampling.DefaultCSSPGOOptions()
+		csOpts.Workers = *workers
+		csOpts.Stream = *stream
+		if *chunkSize > 0 {
+			csOpts.ChunkSize = *chunkSize
+		}
+		csOpts.Trace = obsrv.Trace.Root()
+		csOpts.Metrics = obsrv.Metrics
+		if *kind == "cs" && *stream {
+			csSink = sampling.NewCSSPGOStream(bin, csOpts)
+			m.SetSampleSink(csSink, *chunkSize)
+		}
+
 		for _, req := range reqs {
 			if _, err := m.Run(req...); err != nil {
+				if csSink != nil {
+					m.FlushSamples()
+					csSink.Finish()
+				}
 				csp.End()
 				return err
 			}
 		}
+		if csSink != nil {
+			m.FlushSamples()
+		}
 		csp.End()
 		m.Stats().Publish(obsrv.Metrics)
+		flat := sampling.FlatOptions{
+			Workers: *workers, Stream: *stream, ChunkSize: *chunkSize,
+			Trace: obsrv.Trace.Root(), Metrics: obsrv.Metrics,
+		}
 		switch *kind {
 		case "cs":
-			opts := sampling.DefaultCSSPGOOptions()
-			opts.Workers = *workers
-			opts.Trace = obsrv.Trace.Root()
-			opts.Metrics = obsrv.Metrics
-			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
+			var p *profdata.Profile
+			var stats sampling.UnwindStats
+			if csSink != nil {
+				p, stats = csSink.Finish()
+			} else {
+				p, stats = sampling.GenerateCSSPGO(bin, m.Samples(), csOpts)
+			}
 			prof = p
 			if *verbose {
 				fmt.Println(stats.Summary())
 			}
 		case "probe":
-			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{
-				Workers: *workers, Trace: obsrv.Trace.Root(), Metrics: obsrv.Metrics,
-			})
+			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), flat)
 		case "autofdo":
-			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{
-				Workers: *workers, Trace: obsrv.Trace.Root(), Metrics: obsrv.Metrics,
-			})
+			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), flat)
 		default:
 			return fmt.Errorf("unknown profile kind %q", *kind)
 		}

@@ -13,6 +13,7 @@ import (
 	"csspgo/internal/introspect"
 	"csspgo/internal/obs"
 	"csspgo/internal/pgo"
+	"csspgo/internal/sampling"
 	"csspgo/internal/source"
 )
 
@@ -34,11 +35,18 @@ func cmdServe(args []string) error {
 	bound := fs.Int64("bound", 1000, "request magnitude bound (source-file mode)")
 	period := fs.Uint64("period", 797, "sampling period (taken branches)")
 	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", true, "stream samples to unwinder workers during collection (false = materialize, then generate)")
+	chunkSize := fs.Int("chunk-size", 0, "streamed-chunk size in samples (0 = default)")
 	_ = fs.Parse(args)
 
+	if err := sampling.ValidateWorkers(*workers); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 	pc := pgo.DefaultProfileConfig()
 	pc.Period = *period
 	pc.Workers = *workers
+	pc.NoStream = !*stream
+	pc.ChunkSize = *chunkSize
 
 	reg := obs.NewRegistry()
 	profName := *name

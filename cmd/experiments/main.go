@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall|driftmatrix|corruption] [-scale N] [-report bench.json]
+//	experiments [-run all|fig6|fig7|fig8|fig9|table1|client|drift|trim|tailcall|driftmatrix|corruption|streambench] [-scale N] [-report bench.json]
 //
 // -report writes a run manifest with each experiment's headline numbers as
 // experiment.<name>.* gauges and its wall time in the stage table; this is
@@ -56,6 +56,7 @@ func main() {
 		{"ablation-icp", func(s int) (fmt.Stringer, error) { return pgo.RunAblationICP(s) }},
 		{"driftmatrix", func(s int) (fmt.Stringer, error) { return pgo.RunDriftMatrix(s) }},
 		{"corruption", func(s int) (fmt.Stringer, error) { return pgo.RunCorruptionMatrix(s) }},
+		{"streambench", func(s int) (fmt.Stringer, error) { return pgo.RunStreamBench(s) }},
 	}
 
 	obsrv := pgo.NewRunObserver()

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	profgen -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200] [-seed 1] [-bound 1000] [-period 797] [-pebs=true] [-workers N]
+//	profgen -bin app.bin -o app.prof -kind cs|probe|autofdo|instr [-n 200] [-seed 1] [-bound 1000] [-period 797] [-pebs=true] [-workers N] [-stream=true] [-chunk-size N]
 package main
 
 import (
@@ -31,15 +31,37 @@ func main() {
 	notails := flag.Bool("no-tailcall-inference", false, "disable the missing-frame inferrer")
 	binaryOut := flag.Bool("binary", false, "write the compact binary profile format")
 	workers := flag.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	stream := flag.Bool("stream", true, "stream samples to unwinder workers during collection (false = materialize, then generate)")
+	chunkSize := flag.Int("chunk-size", 0, "streamed-chunk size in samples (0 = default)")
 	flag.Parse()
 
-	if err := run(*binPath, *out, *kind, *n, *seed, *bound, *period, *pebs, *notails, *binaryOut, *workers); err != nil {
+	gen := genConfig{
+		kind: *kind, n: *n, seed: *seed, bound: *bound, period: *period,
+		pebs: *pebs, noTails: *notails, binaryOut: *binaryOut,
+		workers: *workers, stream: *stream, chunkSize: *chunkSize,
+	}
+	if err := run(*binPath, *out, gen); err != nil {
 		fmt.Fprintf(os.Stderr, "profgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(binPath, out, kind string, n int, seed, bound int64, period uint64, pebs, noTails, binaryOut bool, workers int) error {
+type genConfig struct {
+	kind               string
+	n                  int
+	seed, bound        int64
+	period             uint64
+	pebs, noTails      bool
+	binaryOut, stream  bool
+	workers, chunkSize int
+}
+
+func run(binPath, out string, gc genConfig) error {
+	if err := sampling.ValidateWorkers(gc.workers); err != nil {
+		return err
+	}
+	kind, n, seed, bound := gc.kind, gc.n, gc.seed, gc.bound
+	period, pebs, noTails, binaryOut, workers := gc.period, gc.pebs, gc.noTails, gc.binaryOut, gc.workers
 	f, err := os.Open(binPath)
 	if err != nil {
 		return err
@@ -77,23 +99,50 @@ func run(binPath, out, kind string, n int, seed, bound int64, period uint64, peb
 			SampleStacks: kind == "cs", Jitter: true, Seed: 0x5eed,
 		}
 		m := sim.New(bin, sim.DefaultCostParams(), cfg)
+
+		opts := sampling.DefaultCSSPGOOptions()
+		opts.TailCallInference = !noTails
+		opts.Workers = workers
+		opts.Stream = gc.stream
+		if gc.chunkSize > 0 {
+			opts.ChunkSize = gc.chunkSize
+		}
+		// Streaming mode wires the CS unwinder directly to the PMU, so the
+		// run never materializes the full sample stream.
+		var csSink *sampling.CSSPGOStream
+		if kind == "cs" && gc.stream {
+			csSink = sampling.NewCSSPGOStream(bin, opts)
+			m.SetSampleSink(csSink, gc.chunkSize)
+		}
+
 		for _, req := range reqs {
 			if _, err := m.Run(req...); err != nil {
+				if csSink != nil {
+					m.FlushSamples()
+					csSink.Finish()
+				}
 				return err
 			}
 		}
+		if csSink != nil {
+			m.FlushSamples()
+		}
+		flat := sampling.FlatOptions{Workers: workers, Stream: gc.stream, ChunkSize: gc.chunkSize}
 		switch kind {
 		case "cs":
-			opts := sampling.DefaultCSSPGOOptions()
-			opts.TailCallInference = !noTails
-			opts.Workers = workers
-			p, stats := sampling.GenerateCSSPGO(bin, m.Samples(), opts)
+			var p *profdata.Profile
+			var stats sampling.UnwindStats
+			if csSink != nil {
+				p, stats = csSink.Finish()
+			} else {
+				p, stats = sampling.GenerateCSSPGO(bin, m.Samples(), opts)
+			}
 			prof = p
 			fmt.Println(stats.Summary())
 		case "probe":
-			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), sampling.FlatOptions{Workers: workers})
+			prof = sampling.GenerateProbeProfileOpts(bin, m.Samples(), flat)
 		case "autofdo":
-			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), sampling.FlatOptions{Workers: workers})
+			prof = sampling.GenerateAutoFDOOpts(bin, m.Samples(), flat)
 		default:
 			return fmt.Errorf("unknown profile kind %q", kind)
 		}

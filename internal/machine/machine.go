@@ -163,6 +163,29 @@ type Prog struct {
 
 	addrIndex []uint64 // Instrs[i].Addr cache for binary search
 	probeAt   map[uint64][]int
+	funcSpans []funcSpan // address-sorted hot+cold ranges for FuncAt
+
+	// Dense O(1) address indexes, built by Freeze when the text segment's
+	// address span is small enough (always, for programs this machine
+	// produces). denseIdx maps addr-denseBase to an instruction index (-1
+	// between instruction starts); probeFlat/probeStart give the probe
+	// indices anchored at each address slot without a map probe.
+	denseBase  uint64
+	denseIdx   []int32
+	probeFlat  []int
+	probeStart []int32
+	funcDense  []int32 // addr-denseBase -> funcSpans index (-1 outside any span)
+}
+
+// maxDenseSpan bounds the memory spent on the dense address indexes; binary
+// search and the probe map remain as fallback beyond it.
+const maxDenseSpan = 1 << 22
+
+// funcSpan is one contiguous address range owned by a function (a hot or a
+// cold section), used by the binary-search FuncAt index.
+type funcSpan struct {
+	start, end uint64
+	fn         *Func
 }
 
 // Freeze finalizes lookup structures after construction.
@@ -175,10 +198,92 @@ func (p *Prog) Freeze() {
 	for i := range p.Probes {
 		p.probeAt[p.Probes[i].Addr] = append(p.probeAt[p.Probes[i].Addr], i)
 	}
+	p.denseIdx = nil
+	p.probeFlat = nil
+	p.probeStart = nil
+	if n := len(p.Instrs); n > 0 {
+		base := p.Instrs[0].Addr
+		span := p.Instrs[n-1].Addr - base + 1
+		if span <= maxDenseSpan {
+			p.denseBase = base
+			p.denseIdx = make([]int32, span)
+			for i := range p.denseIdx {
+				p.denseIdx[i] = -1
+			}
+			for i := range p.Instrs {
+				p.denseIdx[p.Instrs[i].Addr-base] = int32(i)
+			}
+			// Counting sort of probe indices by address slot: probes at
+			// slot s are probeFlat[probeStart[s]:probeStart[s+1]].
+			p.probeStart = make([]int32, span+1)
+			inRange := 0
+			for i := range p.Probes {
+				if off := p.Probes[i].Addr - base; off < span {
+					p.probeStart[off+1]++
+					inRange++
+				}
+			}
+			for s := uint64(1); s <= span; s++ {
+				p.probeStart[s] += p.probeStart[s-1]
+			}
+			if inRange != len(p.Probes) {
+				// A probe outside the instruction span would silently
+				// vanish from dense lookups; keep the map for probes.
+				p.probeStart = nil
+			} else {
+				p.probeFlat = make([]int, inRange)
+				fill := make([]int32, span)
+				for i := range p.Probes {
+					off := p.Probes[i].Addr - base
+					p.probeFlat[p.probeStart[off]+fill[off]] = i
+					fill[off]++
+				}
+			}
+		}
+	}
+	p.funcSpans = p.funcSpans[:0]
+	for _, f := range p.Funcs {
+		if f.End > f.Start {
+			p.funcSpans = append(p.funcSpans, funcSpan{f.Start, f.End, f})
+		}
+		if f.ColdEnd > f.ColdStart {
+			p.funcSpans = append(p.funcSpans, funcSpan{f.ColdStart, f.ColdEnd, f})
+		}
+	}
+	sort.Slice(p.funcSpans, func(i, j int) bool { return p.funcSpans[i].start < p.funcSpans[j].start })
+	p.funcDense = nil
+	if p.denseIdx != nil && len(p.funcSpans) > 0 {
+		// Paint each span's intersection with the dense window; slots left
+		// at -1 are genuine holes, so the dense answer is authoritative for
+		// every in-window address.
+		p.funcDense = make([]int32, len(p.denseIdx))
+		for i := range p.funcDense {
+			p.funcDense[i] = -1
+		}
+		limit := p.denseBase + uint64(len(p.funcDense))
+		for si := range p.funcSpans {
+			lo, hi := p.funcSpans[si].start, p.funcSpans[si].end
+			if lo < p.denseBase {
+				lo = p.denseBase
+			}
+			if hi > limit {
+				hi = limit
+			}
+			for a := lo; a < hi; a++ {
+				p.funcDense[a-p.denseBase] = int32(si)
+			}
+		}
+	}
 }
 
 // InstrIndexAt returns the index of the instruction at addr, or -1.
 func (p *Prog) InstrIndexAt(addr uint64) int {
+	if p.denseIdx != nil {
+		if off := addr - p.denseBase; off < uint64(len(p.denseIdx)) {
+			return int(p.denseIdx[off])
+		}
+		return -1
+	}
 	i := sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] >= addr })
 	if i < len(p.addrIndex) && p.addrIndex[i] == addr {
 		return i
@@ -204,7 +309,26 @@ func (p *Prog) NextInstrAddr(addr uint64) uint64 {
 }
 
 // FuncAt returns the function covering addr (hot or cold range), or nil.
+// After Freeze it is a binary search over the span index; before Freeze it
+// falls back to a linear symbol-table scan.
 func (p *Prog) FuncAt(addr uint64) *Func {
+	if p.funcDense != nil {
+		if off := addr - p.denseBase; off < uint64(len(p.funcDense)) {
+			if i := p.funcDense[off]; i >= 0 {
+				return p.funcSpans[i].fn
+			}
+			return nil
+		}
+		// Outside the dense window: fall through to the span search (a
+		// function range may extend past the last instruction start).
+	}
+	if len(p.funcSpans) > 0 {
+		i := sort.Search(len(p.funcSpans), func(i int) bool { return p.funcSpans[i].end > addr })
+		if i < len(p.funcSpans) && addr >= p.funcSpans[i].start {
+			return p.funcSpans[i].fn
+		}
+		return nil
+	}
 	for _, f := range p.Funcs {
 		if f.Contains(addr) {
 			return f
@@ -220,6 +344,20 @@ func (p *Prog) ProbesAt(addr uint64) []ProbeRec {
 		out = append(out, p.Probes[i])
 	}
 	return out
+}
+
+// ProbeIndicesAt returns the indices into Probes of the records anchored at
+// addr. Unlike ProbesAt it does not copy records — the returned slice is
+// owned by the index and must not be mutated — so hot paths can walk probe
+// metadata without a per-call allocation.
+func (p *Prog) ProbeIndicesAt(addr uint64) []int {
+	if p.probeStart != nil {
+		if off := addr - p.denseBase; off < uint64(len(p.probeStart)-1) {
+			return p.probeFlat[p.probeStart[off]:p.probeStart[off+1]]
+		}
+		return nil
+	}
+	return p.probeAt[addr]
 }
 
 // Frame is one logical (possibly inlined) frame at an address.
@@ -260,9 +398,26 @@ func FramesEqual(a, b []Frame) bool {
 // InstrsIn returns the instruction index range [lo, hi) covering the
 // address range [start, end] (inclusive of the instruction at end).
 func (p *Prog) InstrsIn(start, end uint64) (lo, hi int) {
+	if p.denseIdx != nil {
+		return p.ceilIndex(start), p.ceilIndex(end + 1)
+	}
 	lo = sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] >= start })
 	hi = sort.Search(len(p.addrIndex), func(i int) bool { return p.addrIndex[i] > end })
 	return lo, hi
+}
+
+// ceilIndex returns the index of the first instruction at or after addr.
+// The scan over hole slots is bounded by the largest instruction size.
+func (p *Prog) ceilIndex(addr uint64) int {
+	if addr <= p.denseBase {
+		return 0
+	}
+	for off := addr - p.denseBase; off < uint64(len(p.denseIdx)); off++ {
+		if i := p.denseIdx[off]; i >= 0 {
+			return int(i)
+		}
+	}
+	return len(p.Instrs)
 }
 
 // String summarizes the binary.

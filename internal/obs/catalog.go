@@ -27,6 +27,8 @@ const (
 	MUnwindFramesRecovered  = "unwind.frames_recovered"
 	MShardWorkerBusyNS      = "shard.worker_busy_ns"
 	MShardTailGraphBuildNS  = "shard.tailgraph_build_ns"
+	MStreamChunks           = "stream.chunks"
+	MStreamContexts         = "stream.pending_contexts"
 	MProfileGenSamples      = "profilegen.samples"
 	MProfileGenFuncProfiles = "profilegen.func_profiles"
 	MProfileGenContexts     = "profilegen.contexts"
@@ -109,6 +111,7 @@ func CatalogNames() []string {
 		MUnwindRangesTruncated, MUnwindSkidAdjusted, MUnwindMissingFrames,
 		MUnwindEventsRecovered, MUnwindFramesRecovered,
 		MShardWorkerBusyNS, MShardTailGraphBuildNS,
+		MStreamChunks, MStreamContexts,
 		MProfileGenSamples, MProfileGenFuncProfiles, MProfileGenContexts,
 		MAnnotateFuncs, MAnnotateStale, MAnnotateNoProfile,
 		MStaleMatchAttempts, MStaleMatchAccepted, MStaleMatchRejected,

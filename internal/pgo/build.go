@@ -199,6 +199,13 @@ type ProfileConfig struct {
 	// 1 = serial). Serial and parallel generation produce byte-identical
 	// profiles; this only trades wall-clock for cores.
 	Workers int
+	// NoStream disables streaming sample ingestion and materializes the
+	// whole sample stream before generating profiles (the legacy batch
+	// path). The zero value streams; both paths produce byte-identical
+	// profiles.
+	NoStream bool
+	// ChunkSize is the streamed-chunk size in samples (0 = the default).
+	ChunkSize int
 	// Trace receives the collection + generation span tree (sim run, shard
 	// workers, unwind, merge). Nil = no tracing.
 	Trace *obs.Trace
@@ -218,6 +225,10 @@ func DefaultProfileConfig() ProfileConfig {
 func csspgoOptions(pc ProfileConfig) sampling.CSSPGOOptions {
 	opts := sampling.DefaultCSSPGOOptions()
 	opts.Workers = pc.Workers
+	opts.Stream = !pc.NoStream
+	if pc.ChunkSize > 0 {
+		opts.ChunkSize = pc.ChunkSize
+	}
 	opts.Trace = pc.Trace.Root()
 	opts.Metrics = pc.Metrics
 	return opts
@@ -226,9 +237,23 @@ func csspgoOptions(pc ProfileConfig) sampling.CSSPGOOptions {
 // flatOptions derives flat profile-generation options the same way.
 func flatOptions(pc ProfileConfig) sampling.FlatOptions {
 	return sampling.FlatOptions{
-		Workers: pc.Workers,
-		Trace:   pc.Trace.Root(),
-		Metrics: pc.Metrics,
+		Workers:   pc.Workers,
+		Stream:    !pc.NoStream,
+		ChunkSize: pc.ChunkSize,
+		Trace:     pc.Trace.Root(),
+		Metrics:   pc.Metrics,
+	}
+}
+
+// pmuConfig derives the PMU settings every collection path shares.
+func pmuConfig(pc ProfileConfig) sim.PMUConfig {
+	return sim.PMUConfig{
+		SamplePeriod: pc.Period,
+		LBRDepth:     16,
+		PEBS:         pc.PEBS,
+		SampleStacks: pc.Stacks,
+		Jitter:       true,
+		Seed:         0x5eed,
 	}
 }
 
@@ -237,15 +262,7 @@ func flatOptions(pc ProfileConfig) sampling.FlatOptions {
 func CollectSamples(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]sim.Sample, sim.Stats, error) {
 	sp := pc.Trace.Span("collect_samples", obs.A("requests", len(requests)))
 	defer sp.End()
-	cfg := sim.PMUConfig{
-		SamplePeriod: pc.Period,
-		LBRDepth:     16,
-		PEBS:         pc.PEBS,
-		SampleStacks: pc.Stacks,
-		Jitter:       true,
-		Seed:         0x5eed,
-	}
-	m := sim.New(bin, sim.DefaultCostParams(), cfg)
+	m := sim.New(bin, sim.DefaultCostParams(), pmuConfig(pc))
 	for _, req := range requests {
 		if _, err := m.Run(req...); err != nil {
 			return nil, sim.Stats{}, err
@@ -254,6 +271,41 @@ func CollectSamples(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]
 	stats := m.Stats()
 	stats.Publish(pc.Metrics)
 	return m.Samples(), stats, nil
+}
+
+// CollectAndGenerateCS runs the request stream with a streaming CSSPGO sink
+// attached to the PMU: fixed-size sample chunks flow to the unwinder worker
+// pool as the simulation runs, so the full sample stream is never
+// materialized in memory. With NoStream set it falls back to
+// collect-then-generate; both paths produce byte-identical profiles.
+func CollectAndGenerateCS(bin *machine.Prog, requests [][]int64, pc ProfileConfig) (*profdata.Profile, sampling.UnwindStats, sim.Stats, error) {
+	if pc.NoStream {
+		samples, stats, err := CollectSamples(bin, requests, pc)
+		if err != nil {
+			return nil, sampling.UnwindStats{}, sim.Stats{}, err
+		}
+		prof, us := sampling.GenerateCSSPGO(bin, samples, csspgoOptions(pc))
+		return prof, us, stats, nil
+	}
+	sp := pc.Trace.Span("collect_samples", obs.A("requests", len(requests)), obs.A("stream", 1))
+	m := sim.New(bin, sim.DefaultCostParams(), pmuConfig(pc))
+	st := sampling.NewCSSPGOStream(bin, csspgoOptions(pc))
+	m.SetSampleSink(st, pc.ChunkSize)
+	for _, req := range requests {
+		if _, err := m.Run(req...); err != nil {
+			// Drain the worker pool before bailing so no goroutines leak.
+			m.FlushSamples()
+			st.Finish()
+			sp.End()
+			return nil, sampling.UnwindStats{}, sim.Stats{}, err
+		}
+	}
+	m.FlushSamples()
+	stats := m.Stats()
+	stats.Publish(pc.Metrics)
+	sp.End()
+	prof, us := st.Finish()
+	return prof, us, stats, nil
 }
 
 // CollectCounters runs the request stream on an instrumented binary and
@@ -334,11 +386,10 @@ func Pipeline(files []*source.File, variant Variant, train [][]int64) (*BuildRes
 			return nil, nil, err
 		}
 		pc := DefaultProfileConfig()
-		samples, _, err := CollectSamples(base.Bin, train, pc)
+		prof, _, _, err := CollectAndGenerateCS(base.Bin, train, pc)
 		if err != nil {
 			return nil, nil, err
 		}
-		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
 		// Cold-context trimming keeps the CS profile comparable in size to
 		// a regular profile (§III.B), then the pre-inliner makes global
 		// top-down decisions with binary-extracted sizes (Algorithms 2+3).
@@ -394,11 +445,10 @@ func CollectProfileFor(base *BuildResult, variant Variant, train [][]int64) (*pr
 		return sampling.GenerateProbeProfileOpts(base.Bin, samples, flatOptions(pc)), nil
 	case FullCS:
 		pc := DefaultProfileConfig()
-		samples, _, err := CollectSamples(base.Bin, train, pc)
+		prof, _, _, err := CollectAndGenerateCS(base.Bin, train, pc)
 		if err != nil {
 			return nil, err
 		}
-		prof, _ := sampling.GenerateCSSPGO(base.Bin, samples, csspgoOptions(pc))
 		prof.TrimColdContexts(trimThreshold(prof))
 		sizes := preinline.ExtractSizes(base.Bin)
 		preinline.Run(prof, sizes, preinline.DeriveParams(prof))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pgo
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package pgo
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation skews timing-based assertions.
+const raceEnabled = true

@@ -1,0 +1,111 @@
+package pgo
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"csspgo/internal/sampling"
+	"csspgo/internal/sim"
+	"csspgo/internal/workloads"
+)
+
+// StreamBenchRow compares CS profile-generation throughput of the legacy
+// materialize-then-shard path against the streaming pipeline on one
+// workload's sample set, at an equal worker count.
+type StreamBenchRow struct {
+	Workload     string
+	Samples      int
+	BatchNS      int64
+	StreamNS     int64
+	Speedup      float64 // batch wall time / stream wall time
+	BatchPerSec  float64
+	StreamPerSec float64
+}
+
+// StreamBenchResult is the throughput comparison over the Fig. 6 corpus.
+type StreamBenchResult struct {
+	Workers int
+	Rows    []StreamBenchRow
+}
+
+// RunStreamBench measures profile-generation throughput (samples/sec) of
+// the streaming CSSPGO pipeline against the legacy batch path over the
+// Fig. 6 server workloads. Both paths see the same materialized sample
+// slice and the same worker count, so the comparison isolates the
+// generation strategy; the profiles produced are byte-identical.
+func RunStreamBench(scale int) (*StreamBenchResult, error) {
+	workers := runtime.GOMAXPROCS(0)
+	out := &StreamBenchResult{Workers: workers}
+	for _, name := range workloads.ServerNames() {
+		w, err := workloads.Load(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Build(w.Files, BuildConfig{Probes: true})
+		if err != nil {
+			return nil, err
+		}
+		pc := DefaultProfileConfig()
+		samples, _, err := CollectSamples(base.Bin, w.Train, pc)
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			continue
+		}
+
+		batchOpts := csspgoOptions(pc)
+		batchOpts.Stream = false
+		batchOpts.Workers = workers
+		streamOpts := csspgoOptions(pc)
+		streamOpts.Stream = true
+		streamOpts.Workers = workers
+
+		row := StreamBenchRow{
+			Workload: name,
+			Samples:  len(samples),
+			BatchNS:  benchGenerate(base, samples, batchOpts),
+			StreamNS: benchGenerate(base, samples, streamOpts),
+		}
+		if row.StreamNS > 0 {
+			row.Speedup = float64(row.BatchNS) / float64(row.StreamNS)
+			row.StreamPerSec = float64(row.Samples) / (float64(row.StreamNS) / 1e9)
+		}
+		if row.BatchNS > 0 {
+			row.BatchPerSec = float64(row.Samples) / (float64(row.BatchNS) / 1e9)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// benchGenerate times GenerateCSSPGO: one untimed warm-up, then the best of
+// three runs (min wall time filters scheduler noise).
+func benchGenerate(base *BuildResult, samples []sim.Sample, opts sampling.CSSPGOOptions) int64 {
+	sampling.GenerateCSSPGO(base.Bin, samples, opts)
+	best := int64(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		sampling.GenerateCSSPGO(base.Bin, samples, opts)
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (r *StreamBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Streaming generation throughput vs batch (workers=%d)\n", r.Workers)
+	fmt.Fprintf(&sb, "%-14s %9s %12s %12s %9s %14s\n",
+		"workload", "samples", "batch ms", "stream ms", "speedup", "stream smp/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %9d %12.2f %12.2f %8.2fx %14.0f\n",
+			row.Workload, row.Samples,
+			float64(row.BatchNS)/1e6, float64(row.StreamNS)/1e6,
+			row.Speedup, row.StreamPerSec)
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package pgo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csspgo/internal/sampling"
+	"csspgo/internal/source"
+)
+
+// exampleModules maps each example workload to its module source.
+var exampleModules = map[string]string{
+	"quickstart":         "app.ml",
+	"contextsensitivity": "vector.ml",
+	"indirectcalls":      "dispatch.ml",
+	"sourcedrift":        "pristine.ml",
+	"overheadtuning":     "app.ml",
+}
+
+func loadExample(t *testing.T, dir, file string) []*source.File {
+	t.Helper()
+	path := filepath.Join("..", "..", "examples", dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	f, err := source.Parse(file, string(data))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return []*source.File{f}
+}
+
+// TestUnwindStatsWorkerInvariantOnExamples pins the UnwindStats contract on
+// every example workload: the stats a profile run reports must not depend on
+// the worker count or on batch-vs-streaming ingestion. Context-resolution
+// stats are defined as per-lookup replays of a per-context delta, so any
+// sharding of the sample stream must reduce to the same sums.
+func TestUnwindStatsWorkerInvariantOnExamples(t *testing.T) {
+	for dir, file := range exampleModules {
+		t.Run(dir, func(t *testing.T) {
+			base, err := Build(loadExample(t, dir, file), BuildConfig{Probes: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples, _, err := CollectSamples(base.Bin, SeededRequests(60, 1, 1000), DefaultProfileConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(samples) < 4 {
+				t.Skipf("only %d samples", len(samples))
+			}
+			ref := sampling.DefaultCSSPGOOptions()
+			ref.Workers, ref.Stream = 1, false
+			_, want := sampling.GenerateCSSPGO(base.Bin, samples, ref)
+			for _, workers := range []int{1, 2, 4, 0} {
+				for _, stream := range []bool{false, true} {
+					o := sampling.DefaultCSSPGOOptions()
+					o.Workers, o.Stream = workers, stream
+					_, got := sampling.GenerateCSSPGO(base.Bin, samples, o)
+					if got != want {
+						t.Errorf("workers=%d stream=%v: stats diverge\n got %+v\nwant %+v",
+							workers, stream, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The compact binary profile format ("extbinary" analogue): a magic header,
@@ -20,6 +21,24 @@ const binVersion = 1
 type binWriter struct {
 	buf     bytes.Buffer
 	strings map[string]uint64
+	// Reused sort scratch, so encoding a large profile does not allocate a
+	// fresh slice per function record.
+	locs  []LocKey
+	names []string
+}
+
+// binWriterPool recycles encoders (buffer, string table and sort scratch)
+// across EncodeBinary calls; the encoder is the hot serialization path for
+// shard merging and benchmark pins.
+var binWriterPool = sync.Pool{
+	New: func() any { return &binWriter{strings: map[string]uint64{}} },
+}
+
+func (w *binWriter) reset() {
+	w.buf.Reset()
+	for k := range w.strings {
+		delete(w.strings, k)
+	}
 }
 
 func (w *binWriter) uvarint(v uint64) {
@@ -55,41 +74,32 @@ func (w *binWriter) funcProfile(fp *FunctionProfile) {
 	w.uvarint(flags)
 	w.uvarint(fp.HeadSamples)
 	w.uvarint(fp.Checksum)
-	locs := fp.SortedLocs()
-	w.uvarint(uint64(len(locs)))
-	for _, loc := range locs {
+	w.locs = appendSortedLocs(w.locs[:0], fp.Blocks)
+	w.uvarint(uint64(len(w.locs)))
+	for _, loc := range w.locs {
 		w.loc(loc)
 		w.uvarint(fp.Blocks[loc])
 	}
-	clocs := fp.SortedCallLocs()
-	w.uvarint(uint64(len(clocs)))
-	for _, loc := range clocs {
+	w.locs = appendSortedLocs(w.locs[:0], fp.Calls)
+	w.uvarint(uint64(len(w.locs)))
+	for _, loc := range w.locs {
 		w.loc(loc)
 		m := fp.Calls[loc]
-		callees := make([]string, 0, len(m))
-		for c := range m {
-			callees = append(callees, c)
-		}
-		sortStrings(callees)
-		w.uvarint(uint64(len(callees)))
-		for _, c := range callees {
+		w.names = appendSortedKeys(w.names[:0], m)
+		w.uvarint(uint64(len(w.names)))
+		for _, c := range w.names {
 			w.str(c)
 			w.uvarint(m[c])
 		}
 	}
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
-// EncodeBinary renders the profile in the compact binary format.
+// EncodeBinary renders the profile in the compact binary format. The
+// encoder state (buffer, string table, sort scratch) is pooled; the
+// returned slice is an exact-size copy the caller owns.
 func EncodeBinary(p *Profile) []byte {
-	w := &binWriter{strings: map[string]uint64{}}
+	w := binWriterPool.Get().(*binWriter)
+	w.reset()
 	w.buf.Write(binMagic[:])
 	w.buf.WriteByte(binVersion)
 	flags := byte(0)
@@ -120,7 +130,10 @@ func EncodeBinary(p *Profile) []byte {
 		}
 		w.funcProfile(fp)
 	}
-	return w.buf.Bytes()
+	out := make([]byte, w.buf.Len())
+	copy(out, w.buf.Bytes())
+	binWriterPool.Put(w)
+	return out
 }
 
 type binReader struct {

@@ -48,19 +48,23 @@ func (c Context) Leaf() string {
 }
 
 // Key renders the canonical key: "main:2 @ foo:5 @ bar".
-func (c Context) Key() string {
-	var sb strings.Builder
+func (c Context) Key() string { return string(c.AppendKey(nil)) }
+
+// AppendKey appends the canonical key to dst and returns the extended
+// slice. Hot paths use it with a reused scratch buffer to build keys
+// without allocating.
+func (c Context) AppendKey(dst []byte) []byte {
 	for i, f := range c {
 		if i > 0 {
-			sb.WriteString(" @ ")
+			dst = append(dst, " @ "...)
 		}
-		sb.WriteString(f.Func)
+		dst = append(dst, f.Func...)
 		if i != len(c)-1 {
-			sb.WriteByte(':')
-			sb.WriteString(f.Site.String())
+			dst = append(dst, ':')
+			dst = f.Site.appendString(dst)
 		}
 	}
-	return sb.String()
+	return dst
 }
 
 // WithCallee extends the context by one frame: the current leaf calls

@@ -82,7 +82,12 @@ func (p *Profile) HotThresholdForBudget(budget int) uint64 {
 
 // Clone deep-copies the whole profile.
 func (p *Profile) Clone() *Profile {
-	out := New(p.Kind, p.CS)
+	out := &Profile{
+		Kind:     p.Kind,
+		CS:       p.CS,
+		Funcs:    make(map[string]*FunctionProfile, len(p.Funcs)),
+		Contexts: make(map[string]*FunctionProfile, len(p.Contexts)),
+	}
 	for name, fp := range p.Funcs {
 		out.Funcs[name] = fp.Clone()
 	}
@@ -103,6 +108,29 @@ func MergeShards(shards []*Profile) *Profile {
 		return nil
 	}
 	dst := shards[0]
+	if len(shards) > 1 {
+		// Pre-size the accumulator maps for the union of all shards (the
+		// sum is an upper bound) so the fold never rehashes mid-merge.
+		nf, nc := 0, 0
+		for _, s := range shards {
+			nf += len(s.Funcs)
+			nc += len(s.Contexts)
+		}
+		if nf > len(dst.Funcs) {
+			funcs := make(map[string]*FunctionProfile, nf)
+			for k, v := range dst.Funcs {
+				funcs[k] = v
+			}
+			dst.Funcs = funcs
+		}
+		if nc > len(dst.Contexts) {
+			ctxs := make(map[string]*FunctionProfile, nc)
+			for k, v := range dst.Contexts {
+				ctxs[k] = v
+			}
+			dst.Contexts = ctxs
+		}
+	}
 	for _, src := range shards[1:] {
 		MergeProfiles(dst, src)
 	}

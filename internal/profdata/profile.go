@@ -9,6 +9,7 @@ package profdata
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Kind says how body locations are keyed.
@@ -37,11 +38,16 @@ type LocKey struct {
 	Disc int32
 }
 
-func (l LocKey) String() string {
+func (l LocKey) String() string { return string(l.appendString(nil)) }
+
+// appendString appends the canonical "ID" or "ID.Disc" rendering to dst.
+func (l LocKey) appendString(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(l.ID), 10)
 	if l.Disc != 0 {
-		return fmt.Sprintf("%d.%d", l.ID, l.Disc)
+		dst = append(dst, '.')
+		dst = strconv.AppendInt(dst, int64(l.Disc), 10)
 	}
-	return fmt.Sprintf("%d", l.ID)
+	return dst
 }
 
 // FunctionProfile is the profile of one function, either context-insensitive
@@ -153,9 +159,14 @@ func (fp *FunctionProfile) Scale(num, den uint64) {
 	}
 }
 
-// Clone deep-copies the profile.
+// Clone deep-copies the profile, sizing the copied maps exactly so merge
+// paths that clone-then-accumulate do not rehash while filling them.
 func (fp *FunctionProfile) Clone() *FunctionProfile {
-	out := NewFunctionProfile(fp.Name)
+	out := &FunctionProfile{
+		Name:   fp.Name,
+		Blocks: make(map[LocKey]uint64, len(fp.Blocks)),
+		Calls:  make(map[LocKey]map[string]uint64, len(fp.Calls)),
+	}
 	out.Context = append(Context(nil), fp.Context...)
 	out.Checksum = fp.Checksum
 	out.TotalSamples = fp.TotalSamples
@@ -175,34 +186,38 @@ func (fp *FunctionProfile) Clone() *FunctionProfile {
 	return out
 }
 
+// appendSortedLocs appends m's keys to dst in deterministic (ID, Disc)
+// order. Encoders pass reused scratch slices to avoid per-record garbage.
+func appendSortedLocs[V any](dst []LocKey, m map[LocKey]V) []LocKey {
+	for l := range m {
+		dst = append(dst, l)
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].ID != dst[j].ID {
+			return dst[i].ID < dst[j].ID
+		}
+		return dst[i].Disc < dst[j].Disc
+	})
+	return dst
+}
+
+// appendSortedKeys appends m's string keys to dst in sorted order.
+func appendSortedKeys[V any](dst []string, m map[string]V) []string {
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst)
+	return dst
+}
+
 // SortedLocs returns body locations in deterministic order.
 func (fp *FunctionProfile) SortedLocs() []LocKey {
-	locs := make([]LocKey, 0, len(fp.Blocks))
-	for l := range fp.Blocks {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool {
-		if locs[i].ID != locs[j].ID {
-			return locs[i].ID < locs[j].ID
-		}
-		return locs[i].Disc < locs[j].Disc
-	})
-	return locs
+	return appendSortedLocs(make([]LocKey, 0, len(fp.Blocks)), fp.Blocks)
 }
 
 // SortedCallLocs returns call locations in deterministic order.
 func (fp *FunctionProfile) SortedCallLocs() []LocKey {
-	locs := make([]LocKey, 0, len(fp.Calls))
-	for l := range fp.Calls {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool {
-		if locs[i].ID != locs[j].ID {
-			return locs[i].ID < locs[j].ID
-		}
-		return locs[i].Disc < locs[j].Disc
-	})
-	return locs
+	return appendSortedLocs(make([]LocKey, 0, len(fp.Calls)), fp.Calls)
 }
 
 // Profile is a whole-program profile.
@@ -214,6 +229,12 @@ type Profile struct {
 	Funcs map[string]*FunctionProfile
 	// Contexts holds context profiles by canonical context key.
 	Contexts map[string]*FunctionProfile
+
+	// keyScratch is reused by ContextProfile to render context keys, so
+	// repeated lookups of known contexts allocate nothing. It makes lookup
+	// paths non-reentrant, matching the maps above (a Profile has never
+	// been safe for concurrent mutation).
+	keyScratch []byte
 }
 
 // New returns an empty profile.
@@ -237,14 +258,19 @@ func (p *Profile) FuncProfile(name string) *FunctionProfile {
 }
 
 // ContextProfile returns the context profile for ctx, creating on demand.
+// Lookups of an already-known context are allocation-free: the key is
+// rendered into a reused scratch buffer and the map is probed via a
+// non-copying string conversion; the key string is only materialized when
+// a new entry must be inserted.
 func (p *Profile) ContextProfile(ctx Context) *FunctionProfile {
-	key := ctx.Key()
-	fp := p.Contexts[key]
-	if fp == nil {
-		fp = NewFunctionProfile(ctx.Leaf())
-		fp.Context = append(Context(nil), ctx...)
-		p.Contexts[key] = fp
+	p.keyScratch = ctx.AppendKey(p.keyScratch[:0])
+	if fp := p.Contexts[string(p.keyScratch)]; fp != nil {
+		return fp
 	}
+	key := string(p.keyScratch)
+	fp := NewFunctionProfile(ctx.Leaf())
+	fp.Context = append(Context(nil), ctx...)
+	p.Contexts[key] = fp
 	return fp
 }
 
@@ -267,22 +293,12 @@ func (p *Profile) ContextsOf(name string) []*FunctionProfile {
 
 // SortedFuncNames returns base profile names sorted.
 func (p *Profile) SortedFuncNames() []string {
-	names := make([]string, 0, len(p.Funcs))
-	for n := range p.Funcs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return appendSortedKeys(make([]string, 0, len(p.Funcs)), p.Funcs)
 }
 
 // SortedContextKeys returns context keys sorted.
 func (p *Profile) SortedContextKeys() []string {
-	keys := make([]string, 0, len(p.Contexts))
-	for k := range p.Contexts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return appendSortedKeys(make([]string, 0, len(p.Contexts)), p.Contexts)
 }
 
 // TotalSamples sums all body samples in the profile.

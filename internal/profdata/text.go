@@ -137,6 +137,10 @@ func decodeText(r io.Reader, lenient bool) (*Profile, ReadStats, error) {
 	var p *Profile
 	var cur *FunctionProfile
 	var stats ReadStats
+	// Function and callee names repeat across thousands of lines; interning
+	// shares one backing string per distinct name instead of pinning a
+	// substring of every scanned line.
+	in := NewInterner()
 	lineNo := 0
 	// fail reports a malformed line: strict mode aborts the decode, lenient
 	// mode records the damage and skips the line. A malformed section header
@@ -189,9 +193,12 @@ func decodeText(r io.Reader, lenient bool) (*Profile, ReadStats, error) {
 					}
 					continue
 				}
+				for i := range ctx {
+					ctx[i].Func = in.Intern(ctx[i].Func)
+				}
 				cur = p.ContextProfile(ctx)
 			} else {
-				cur = p.FuncProfile(key)
+				cur = p.FuncProfile(in.Intern(key))
 			}
 			continue
 		}
@@ -261,7 +268,7 @@ func decodeText(r io.Reader, lenient bool) (*Profile, ReadStats, error) {
 				lineErr = fmt.Errorf("line %d: %v", lineNo, err)
 				break
 			}
-			cur.AddCall(loc, fields[2], v)
+			cur.AddCall(loc, in.Intern(fields[2]), v)
 		default:
 			lineErr = fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
 		}

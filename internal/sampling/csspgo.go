@@ -28,6 +28,17 @@ type CSSPGOOptions struct {
 	// deterministic sum reduction, so every worker count yields a
 	// byte-identical serialized profile.
 	Workers int
+	// Stream routes generation through the bounded-memory chunked pipeline
+	// (CSSPGOStream): workers unwind sample chunks as they arrive and defer
+	// context resolution to the end, so memory is bounded by the number of
+	// distinct contexts instead of the sample count. Output is
+	// byte-identical to the batch path for any worker count and chunk
+	// size. The zero value keeps the legacy materialize-then-shard path,
+	// which stays available as the reference oracle.
+	Stream bool
+	// ChunkSize is the per-chunk sample count for the streaming pipeline
+	// (0 = sim.DefaultChunkSize).
+	ChunkSize int
 	// Trace receives the profile-generation span tree (tail-call graph,
 	// per-worker unwinding, shard merge, finalization). Nil = no tracing.
 	Trace *obs.Span
@@ -36,9 +47,10 @@ type CSSPGOOptions struct {
 	Metrics *obs.Registry
 }
 
-// DefaultCSSPGOOptions returns the production defaults.
+// DefaultCSSPGOOptions returns the production defaults: streaming
+// generation with 4096-sample chunks.
 func DefaultCSSPGOOptions() CSSPGOOptions {
-	return CSSPGOOptions{TailCallInference: true, MaxContextDepth: 6}
+	return CSSPGOOptions{TailCallInference: true, MaxContextDepth: 6, Stream: true, ChunkSize: sim.DefaultChunkSize}
 }
 
 // GenerateCSSPGO builds a context-sensitive, probe-keyed profile from
@@ -48,6 +60,11 @@ func DefaultCSSPGOOptions() CSSPGOOptions {
 // their full context (physical calling context extended with the probe's
 // own inline chain).
 func GenerateCSSPGO(bin *machine.Prog, samples []sim.Sample, opts CSSPGOOptions) (*profdata.Profile, UnwindStats) {
+	if opts.Stream {
+		st := NewCSSPGOStream(bin, opts)
+		feedSlice(st, samples, opts.ChunkSize)
+		return st.Finish()
+	}
 	var tails *TailCallGraph
 	if opts.TailCallInference {
 		// Built once over the full stream and shared read-only by every
@@ -132,12 +149,7 @@ func unwindShard(bin *machine.Prog, shard []sim.Sample, tails *TailCallGraph, op
 						ctx := contextForProbe(callerCtx, &rec, opts.MaxContextDepth)
 						fp = p.ContextProfile(ctx)
 					}
-					w := uint64(rec.Factor + 0.5)
-					if rec.Factor > 0 && rec.Factor < 1 {
-						// Fractional factors accumulate probabilistically;
-						// round half up but never drop to zero outright.
-						w = 1
-					}
+					w := probeWeight(rec.Factor)
 					if w == 0 {
 						continue
 					}

@@ -13,6 +13,14 @@ type FlatOptions struct {
 	// Workers sizes the sample-sharding worker pool (0 = GOMAXPROCS,
 	// 1 = serial). Any worker count produces a byte-identical profile.
 	Workers int
+	// Stream routes generation through the bounded-memory chunked pipeline
+	// (FlatStream) instead of materialize-then-shard. Output is
+	// byte-identical either way; the zero value keeps the legacy batch path
+	// so it stays available as a reference oracle.
+	Stream bool
+	// ChunkSize is the per-chunk sample count for the streaming pipeline
+	// (0 = sim.DefaultChunkSize).
+	ChunkSize int
 	// Trace receives the generation span tree (nil = no tracing).
 	Trace *obs.Span
 	// Metrics receives the profilegen.* metrics (nil = no publication).
@@ -43,22 +51,30 @@ func GenerateAutoFDO(bin *machine.Prog, samples []sim.Sample) *profdata.Profile 
 	return GenerateAutoFDOOpts(bin, samples, FlatOptions{})
 }
 
-// GenerateAutoFDOOpts is GenerateAutoFDO with an explicit worker count.
-func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) (p *profdata.Profile) {
+// GenerateAutoFDOOpts is GenerateAutoFDO with explicit options.
+func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+	if opts.Stream {
+		st := NewFlatStream(bin, opts)
+		feedSlice(st, samples, opts.ChunkSize)
+		return st.FinishAutoFDO()
+	}
 	csp := opts.Trace.Span("sampling.addr_counts", obs.A("samples", len(samples)))
 	ac := addrCounts(bin, samples, opts.Workers)
+	icalls := icallTargets(bin, samples, opts.Workers)
 	csp.End()
+	return generateAutoFDOFrom(bin, ac, icalls, opts, len(samples))
+}
+
+// generateAutoFDOFrom is the attribution half of AutoFDO generation,
+// shared by the batch and streaming front halves.
+func generateAutoFDOFrom(bin *machine.Prog, ac *AddrCounter, icalls map[uint64]map[string]uint64, opts FlatOptions, samples int) *profdata.Profile {
 	asp := opts.Trace.Span("sampling.attribute_lines")
-	defer func() {
-		asp.End()
-		publishProfileShape(opts.Metrics, p, len(samples))
-	}()
-	p = profdata.New(profdata.LineBased, false)
+	p := profdata.New(profdata.LineBased, false)
 
 	// Indirect-call targets come from the LBR records themselves (a call
 	// branch's To names the callee) — the sampled analogue of value
 	// profiling, with sampling's coverage limits.
-	for site, targets := range icallTargets(bin, samples, opts.Workers) {
+	for site, targets := range icalls {
 		frames := bin.InlinedFramesAt(site)
 		if len(frames) == 0 {
 			continue
@@ -74,18 +90,15 @@ func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptio
 		}
 	}
 
-	for addr, count := range ac.Counts() {
-		if count == 0 {
-			continue
-		}
+	ac.Each(func(addr, count uint64) {
 		frames := bin.InlinedFramesAt(addr)
 		if len(frames) == 0 {
-			continue
+			return
 		}
 		leaf := frames[0]
 		fn := bin.FuncByName[leaf.Func]
 		if fn == nil {
-			continue
+			return
 		}
 		loc := lineLoc(leaf, fn)
 		fp := p.FuncProfile(leaf.Func)
@@ -102,7 +115,7 @@ func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptio
 			// target counts are not body samples, so undo nothing —
 			// AddCall does not touch TotalSamples.
 		}
-	}
+	})
 
 	// Head samples: entry-instruction count approximates entries.
 	for _, fn := range bin.Funcs {
@@ -110,6 +123,8 @@ func GenerateAutoFDOOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptio
 			fp.HeadSamples = ac.Count(fn.Start)
 		}
 	}
+	asp.End()
+	publishProfileShape(opts.Metrics, p, samples)
 	return p
 }
 
@@ -123,39 +138,57 @@ func GenerateProbeProfile(bin *machine.Prog, samples []sim.Sample) *profdata.Pro
 	return GenerateProbeProfileOpts(bin, samples, FlatOptions{})
 }
 
-// GenerateProbeProfileOpts is GenerateProbeProfile with an explicit worker
-// count.
+// GenerateProbeProfileOpts is GenerateProbeProfile with explicit options.
 func GenerateProbeProfileOpts(bin *machine.Prog, samples []sim.Sample, opts FlatOptions) *profdata.Profile {
+	if opts.Stream {
+		st := NewFlatStream(bin, opts)
+		feedSlice(st, samples, opts.ChunkSize)
+		return st.FinishProbe()
+	}
 	csp := opts.Trace.Span("sampling.addr_counts", obs.A("samples", len(samples)))
 	ac := addrCounts(bin, samples, opts.Workers)
+	icalls := icallTargets(bin, samples, opts.Workers)
 	csp.End()
+	return generateProbeProfileFrom(bin, ac, icalls, opts, len(samples))
+}
+
+// generateProbeProfileFrom is the attribution half of probe-profile
+// generation, shared by the batch and streaming front halves.
+func generateProbeProfileFrom(bin *machine.Prog, ac *AddrCounter, icalls map[uint64]map[string]uint64, opts FlatOptions, samples int) *profdata.Profile {
 	asp := opts.Trace.Span("sampling.attribute_probes")
 	p := profdata.New(profdata.ProbeBased, false)
 	attributeProbes(bin, ac, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
-	attributeICallTargets(bin, samples, opts.Workers, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
+	attributeICallTargetsMap(bin, icalls, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
 		return p.FuncProfile(rec.Func)
 	})
 	asp.End()
 	fsp := opts.Trace.Span("sampling.finalize")
 	finalizeProbeProfile(bin, p)
 	fsp.End()
-	publishProfileShape(opts.Metrics, p, len(samples))
+	publishProfileShape(opts.Metrics, p, samples)
 	return p
 }
 
 // attributeICallTargets adds sampled indirect-call target counts under the
 // call probes anchored at each site.
 func attributeICallTargets(bin *machine.Prog, samples []sim.Sample, workers int, pick func(*machine.ProbeRec) *profdata.FunctionProfile) {
-	for site, targets := range icallTargets(bin, samples, workers) {
+	attributeICallTargetsMap(bin, icallTargets(bin, samples, workers), pick)
+}
+
+// attributeICallTargetsMap is attributeICallTargets over an already-merged
+// site → callee → count histogram (the streaming path aggregates it
+// incrementally).
+func attributeICallTargetsMap(bin *machine.Prog, targets map[uint64]map[string]uint64, pick func(*machine.ProbeRec) *profdata.FunctionProfile) {
+	for site, ts := range targets {
 		for _, rec := range bin.ProbesAt(site) {
 			if rec.Kind != ir.ProbeCall {
 				continue
 			}
 			rec := rec
 			fp := pick(&rec)
-			for callee, n := range targets {
+			for callee, n := range ts {
 				fp.AddCall(profdata.LocKey{ID: rec.ID}, callee, n)
 			}
 		}

@@ -43,45 +43,67 @@ func (r Range) Valid(bin *machine.Prog) bool {
 // (older), execution ran linearly from b[i+1].To to b[i].From. Invalid
 // ranges (e.g. truncated LBR tails) are dropped.
 func LBRRanges(bin *machine.Prog, lbr []sim.BranchRec) []Range {
-	out := make([]Range, 0, len(lbr))
+	return AppendLBRRanges(make([]Range, 0, len(lbr)), bin, lbr)
+}
+
+// AppendLBRRanges is LBRRanges appending into dst (reusing its backing
+// array), for hot loops that process one sample at a time.
+func AppendLBRRanges(dst []Range, bin *machine.Prog, lbr []sim.BranchRec) []Range {
 	for i := 0; i+1 < len(lbr); i++ {
 		r := Range{Begin: lbr[i+1].To, End: lbr[i].From}
 		if r.Valid(bin) {
-			out = append(out, r)
+			dst = append(dst, r)
 		}
 	}
-	return out
+	return dst
 }
 
-// AddrCounter accumulates per-address execution counts from ranges.
+// AddrCounter accumulates per-instruction execution counts from ranges.
+// Counts live in a dense slice indexed by instruction index (the text
+// segment is contiguous and known up front), so the hot AddRange loop is a
+// slice walk with no hashing and the shard-merge reduction is a vector add.
 type AddrCounter struct {
 	bin    *machine.Prog
-	counts map[uint64]uint64
+	counts []uint64 // indexed by instruction index
 }
 
 // NewAddrCounter returns an empty counter over bin.
 func NewAddrCounter(bin *machine.Prog) *AddrCounter {
-	return &AddrCounter{bin: bin, counts: map[uint64]uint64{}}
+	return &AddrCounter{bin: bin, counts: make([]uint64, len(bin.Instrs))}
 }
 
 // AddRange adds w to every instruction address covered by r.
 func (c *AddrCounter) AddRange(r Range, w uint64) {
 	lo, hi := c.bin.InstrsIn(r.Begin, r.End)
 	for i := lo; i < hi; i++ {
-		c.counts[c.bin.Instrs[i].Addr] += w
+		c.counts[i] += w
 	}
 }
 
 // Merge sums another counter's counts into c (shard reduction; both
 // counters must be over the same binary).
 func (c *AddrCounter) Merge(o *AddrCounter) {
-	for addr, n := range o.counts {
-		c.counts[addr] += n
+	for i, n := range o.counts {
+		c.counts[i] += n
 	}
 }
 
-// Count returns the accumulated count at addr.
-func (c *AddrCounter) Count(addr uint64) uint64 { return c.counts[addr] }
+// Count returns the accumulated count at addr (0 for non-instruction
+// addresses).
+func (c *AddrCounter) Count(addr uint64) uint64 {
+	i := c.bin.InstrIndexAt(addr)
+	if i < 0 {
+		return 0
+	}
+	return c.counts[i]
+}
 
-// Counts exposes the raw map (read-only use).
-func (c *AddrCounter) Counts() map[uint64]uint64 { return c.counts }
+// Each calls fn for every instruction with a non-zero count, in address
+// order.
+func (c *AddrCounter) Each(fn func(addr uint64, count uint64)) {
+	for i, n := range c.counts {
+		if n != 0 {
+			fn(c.bin.Instrs[i].Addr, n)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package sampling
 // serial-vs-parallel equivalence tests enforce.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -18,9 +19,26 @@ import (
 	"csspgo/internal/sim"
 )
 
+// ValidateWorkers rejects worker counts the pool cannot interpret. The CLI
+// front-ends call it before building options; resolveWorkers assumes a
+// validated value.
+func ValidateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("invalid worker count %d: must be >= 0 (0 means one worker per CPU)", n)
+	}
+	return nil
+}
+
 // resolveWorkers maps a requested worker count (0 = GOMAXPROCS) to an
-// effective one, never exceeding the number of items to shard.
+// effective one, never exceeding the number of items to shard. With zero
+// items there is nothing to run: the result is 0 workers, matching the nil
+// shard list sampleShards produces (the two used to disagree — 1 worker vs
+// no shards — which made the empty-input path depend on which one a caller
+// consulted).
 func resolveWorkers(requested, items int) int {
+	if items == 0 {
+		return 0
+	}
 	w := requested
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -122,13 +140,26 @@ func icallTargets(bin *machine.Prog, samples []sim.Sample, workers int) map[uint
 	forEachShard(shards, func(i int, shard []sim.Sample) {
 		parts[i] = icallTargetsSerial(bin, shard)
 	})
-	out := parts[0]
-	for _, part := range parts[1:] {
+	return mergeICallTargets(parts)
+}
+
+// mergeICallTargets folds per-shard target maps into a freshly-allocated
+// result. Inner maps are always copied, never adopted by reference: an
+// adopted map would alias shard-private state, so a caller reusing or
+// pooling shard results after the merge would silently corrupt the merged
+// histogram.
+func mergeICallTargets(parts []map[uint64]map[string]uint64) map[uint64]map[string]uint64 {
+	size := 0
+	if len(parts) > 0 {
+		size = len(parts[0])
+	}
+	out := make(map[uint64]map[string]uint64, size)
+	for _, part := range parts {
 		for site, targets := range part {
 			m := out[site]
 			if m == nil {
-				out[site] = targets
-				continue
+				m = make(map[string]uint64, len(targets))
+				out[site] = m
 			}
 			for callee, n := range targets {
 				m[callee] += n

@@ -54,17 +54,57 @@ func TestSampleShardsCoverInOrder(t *testing.T) {
 }
 
 func TestResolveWorkers(t *testing.T) {
-	if got := resolveWorkers(4, 100); got != 4 {
-		t.Fatalf("explicit count ignored: %d", got)
+	cases := []struct {
+		name             string
+		requested, items int
+		want             int // -1 = any positive value
+	}{
+		{"explicit count honored", 4, 100, 4},
+		{"clamped to item count", 8, 3, 3},
+		{"zero items yield zero workers", 1, 0, 0},
+		{"zero items with default request", 0, 0, 0},
+		{"zero items with negative request", -3, 0, 0},
+		{"zero request means GOMAXPROCS", 0, 1000, -1},
+		{"negative request means GOMAXPROCS", -1, 1000, -1},
+		{"single item runs serial", 16, 1, 1},
 	}
-	if got := resolveWorkers(8, 3); got != 3 {
-		t.Fatalf("workers must clamp to item count: %d", got)
+	for _, tc := range cases {
+		got := resolveWorkers(tc.requested, tc.items)
+		if tc.want == -1 {
+			if got < 1 {
+				t.Fatalf("%s: resolveWorkers(%d, %d) = %d, want positive", tc.name, tc.requested, tc.items, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Fatalf("%s: resolveWorkers(%d, %d) = %d, want %d", tc.name, tc.requested, tc.items, got, tc.want)
+		}
 	}
-	if got := resolveWorkers(1, 0); got != 1 {
-		t.Fatalf("floor is 1: %d", got)
+	// resolveWorkers and sampleShards must agree on the empty input: no
+	// workers, no shards (they used to disagree — 1 worker vs nil shards).
+	if got := resolveWorkers(0, 0); got != 0 {
+		t.Fatalf("resolveWorkers(_, 0) = %d, want 0", got)
 	}
-	if got := resolveWorkers(0, 1000); got < 1 {
-		t.Fatalf("GOMAXPROCS default must be positive: %d", got)
+	if got := sampleShards(nil, resolveWorkers(0, 0)); got != nil {
+		t.Fatalf("sampleShards(nil, 0) = %v, want nil", got)
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	cases := []struct {
+		n  int
+		ok bool
+	}{
+		{-100, false}, {-1, false}, {0, true}, {1, true}, {64, true},
+	}
+	for _, tc := range cases {
+		err := ValidateWorkers(tc.n)
+		if tc.ok && err != nil {
+			t.Fatalf("ValidateWorkers(%d): unexpected error %v", tc.n, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("ValidateWorkers(%d): negative count must be rejected", tc.n)
+		}
 	}
 }
 

@@ -1,0 +1,574 @@
+package sampling
+
+// Bounded-memory streaming profile generation. The batch generators
+// materialize every PMU sample before sharding — O(corpus) RAM per run,
+// which a continuous-profiling deployment cannot afford. The streaming
+// pipeline instead consumes fixed-size sample chunks as the simulation
+// produces them (sim.SampleSink): a dispatcher channel feeds per-worker
+// collectors, each of which unwinds its chunks immediately and aggregates
+// the results into compact per-worker state, so peak memory is bounded by
+// the chunk backlog plus the number of *distinct* calling contexts — not
+// the sample count.
+//
+// Determinism. The batch path is byte-identical across worker counts
+// because every profile count is a sum and serialization sorts; streaming
+// keeps that property by construction:
+//
+//   - Profile counts: each (context, probe) pair accumulates an occurrence
+//     count per worker; worker tables merge by summation and the final
+//     count is weight × occurrences — the same sum the batch path builds
+//     one range at a time, grouped differently.
+//   - Tail-call graph: the batch graph keeps the first edge observation in
+//     stream order. Workers see chunks out of order, so each records the
+//     earliest (chunk, sample, branch) position it saw per edge and the
+//     merge takes the global minimum — exactly the batch first-occurrence.
+//   - Unwinder stats: per-sample stats are position-independent sums.
+//     Context-resolution stats (MissingFrameEvents & co.) are defined as
+//     per-lookup replays of a per-context delta (see ctxEntry); streaming
+//     counts lookups during ingestion and adds delta × lookups at resolve
+//     time, matching the batch replay for any worker count.
+//
+// Deferred context resolution is also where the throughput win comes from:
+// the batch path runs ContextOf + context-key hashing once per range,
+// while the streaming path resolves each distinct raw context exactly once
+// at Finish, after the complete tail-call graph is known.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"csspgo/internal/ir"
+	"csspgo/internal/machine"
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+)
+
+// probeWeight converts a probe's duplication factor into the per-occurrence
+// sample weight (round half up; fractional factors accumulate
+// probabilistically but never drop to zero outright).
+func probeWeight(factor float64) uint64 {
+	w := uint64(factor + 0.5)
+	if factor > 0 && factor < 1 {
+		w = 1
+	}
+	return w
+}
+
+// streamPos totally orders samples and LBR records across chunk
+// boundaries, independent of which worker processed the chunk.
+type streamPos struct {
+	chunk, samp, br int
+}
+
+func (a streamPos) before(b streamPos) bool {
+	if a.chunk != b.chunk {
+		return a.chunk < b.chunk
+	}
+	if a.samp != b.samp {
+		return a.samp < b.samp
+	}
+	return a.br < b.br
+}
+
+type edgeKey struct{ from, to string }
+
+// tailObs is one worker's earliest observation of a dynamic tail-call edge.
+type tailObs struct {
+	site uint64
+	pos  streamPos
+}
+
+// rangeKey identifies a covered instruction-index range [lo, hi); ranges
+// repeat constantly in a sample stream, so occurrences aggregate under this
+// key and the per-instruction probe expansion runs once per distinct range
+// at Finish instead of once per sample.
+type rangeKey struct{ lo, hi int32 }
+
+// pendingCtx aggregates everything observed under one raw calling context
+// (callers, leaf, kind) before the context itself is resolved: how many
+// context lookups the batch path would have performed, and how often each
+// instruction range executed under it.
+type pendingCtx struct {
+	callers []uint64
+	leaf    *machine.Func
+	lookups int
+	ranges  map[rangeKey]uint64 // covered range -> occurrences
+}
+
+// resolveStreamWorkers maps a requested worker count to the streaming pool
+// size. Unlike resolveWorkers it cannot clamp to the item count — the
+// stream length is unknown up front.
+func resolveStreamWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// feedSlice pushes an already-materialized sample slice through a sink in
+// chunks, so the batch entry points can reuse the streaming pipeline. The
+// chunks borrow the caller's memory and are never pooled.
+func feedSlice(sink sim.SampleSink, samples []sim.Sample, chunkSize int) {
+	if chunkSize <= 0 {
+		chunkSize = sim.DefaultChunkSize
+	}
+	for start, idx := 0, 0; start < len(samples); start, idx = start+chunkSize, idx+1 {
+		end := start + chunkSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		sink.ConsumeChunk(&sim.SampleChunk{Index: idx, Samples: samples[start:end], Borrowed: true})
+	}
+}
+
+// ------------------------------------------------------------- CSSPGO
+
+// csWorker is one streaming worker's private state: an unwinder used for
+// range recovery only (context resolution is deferred), the pending-context
+// table, a base-profile shard for truncated ranges, and the tail-edge /
+// indirect-call aggregations.
+type csWorker struct {
+	bin     *machine.Prog
+	u       *Unwinder
+	keyBuf  []byte
+	pending map[string]*pendingCtx
+	trunc   map[rangeKey]uint64 // truncated-range occurrences, expanded at drain
+	base    *profdata.Profile
+	tails   map[edgeKey]tailObs // nil when tail-call inference is off
+	icalls  map[uint64]map[string]uint64
+	samples int
+	busyNS  int64
+}
+
+// newCSWorker builds one streaming worker's private state.
+func newCSWorker(bin *machine.Prog, opts CSSPGOOptions) *csWorker {
+	w := &csWorker{
+		bin:     bin,
+		u:       NewUnwinder(bin, nil),
+		pending: map[string]*pendingCtx{},
+		trunc:   map[rangeKey]uint64{},
+		base:    profdata.New(profdata.ProbeBased, true),
+		icalls:  map[uint64]map[string]uint64{},
+	}
+	w.u.AssumeAligned = opts.AssumeAligned
+	if opts.TailCallInference {
+		w.tails = map[edgeKey]tailObs{}
+	}
+	return w
+}
+
+// CSSPGOStream is the streaming CSSPGO generator. It implements
+// sim.SampleSink, so it can be attached directly to a running machine via
+// Machine.SetSampleSink; Finish closes the pipeline and produces the
+// profile. GenerateCSSPGO with Options.Stream wraps it for materialized
+// sample slices.
+type CSSPGOStream struct {
+	bin     *machine.Prog
+	opts    CSSPGOOptions
+	ch      chan *sim.SampleChunk
+	wg      sync.WaitGroup
+	workers []*csWorker
+	usp     *obs.Span
+	chunks  int
+}
+
+// NewCSSPGOStream starts the worker pool. The caller must call Finish
+// exactly once after the last chunk.
+func NewCSSPGOStream(bin *machine.Prog, opts CSSPGOOptions) *CSSPGOStream {
+	nw := resolveStreamWorkers(opts.Workers)
+	s := &CSSPGOStream{
+		bin:  bin,
+		opts: opts,
+		// 2× backlog gives the producer headroom without unbounding memory.
+		ch:      make(chan *sim.SampleChunk, 2*nw),
+		workers: make([]*csWorker, nw),
+	}
+	s.usp = opts.Trace.Span("sampling.unwind", obs.A("workers", nw))
+	for i := range s.workers {
+		w := newCSWorker(bin, opts)
+		s.workers[i] = w
+		s.wg.Add(1)
+		go func(i int, w *csWorker) {
+			defer s.wg.Done()
+			wsp := s.usp.WorkerSpan("sampling.unwind_shard", i)
+			t0 := time.Now()
+			for ch := range s.ch {
+				w.consume(ch)
+				sim.RecycleChunk(ch)
+			}
+			w.busyNS = time.Since(t0).Nanoseconds()
+			wsp.End()
+		}(i, w)
+	}
+	return s
+}
+
+// ConsumeChunk hands one chunk to the worker pool (sim.SampleSink). It
+// blocks when the backlog is full, applying backpressure to the producer.
+func (s *CSSPGOStream) ConsumeChunk(ch *sim.SampleChunk) {
+	s.chunks++
+	s.ch <- ch
+}
+
+func (w *csWorker) consume(ch *sim.SampleChunk) {
+	for si := range ch.Samples {
+		smp := &ch.Samples[si]
+		w.samples++
+		w.scanLBR(ch.Index, si, smp.LBR)
+		// Intra-function branches dominate hot LBRs: consecutive ranges with
+		// unchanged callers and the same leaf resolve to the same pending
+		// context, so the key hash + table probe can be skipped for them.
+		var lastPC *pendingCtx
+		var lastLeaf *machine.Func
+		for _, cr := range w.u.Unwind(*smp) {
+			if !cr.SameCallers {
+				lastPC, lastLeaf = nil, nil
+			}
+			leafFn := w.bin.FuncAt(cr.R.Begin)
+			if leafFn == nil {
+				continue
+			}
+			lo, hi := w.bin.InstrsIn(cr.R.Begin, cr.R.End)
+			rk := rangeKey{int32(lo), int32(hi)}
+			if cr.Truncated {
+				// The outer context is unknown; the counts go to the base
+				// shard at drain and must not mint a false shallow context.
+				w.trunc[rk]++
+				continue
+			}
+			pc := lastPC
+			if pc == nil || leafFn != lastLeaf {
+				w.keyBuf = appendCacheKey(w.keyBuf[:0], cr.Callers, leafFn.Name, profdata.ProbeBased)
+				pc = w.pending[string(w.keyBuf)]
+				if pc == nil {
+					pc = &pendingCtx{
+						// cr.Callers lives in the unwinder's arena; copy once
+						// per distinct context.
+						callers: append([]uint64(nil), cr.Callers...),
+						leaf:    leafFn,
+						ranges:  map[rangeKey]uint64{},
+					}
+					w.pending[string(w.keyBuf)] = pc
+				}
+				lastPC, lastLeaf = pc, leafFn
+			}
+			pc.lookups++
+			pc.ranges[rk]++
+		}
+	}
+}
+
+// expandTruncated folds the aggregated truncated-range occurrences into the
+// worker's base-profile shard. AddBody/AddCall accumulate, so weight ×
+// occurrences yields the same sums as the batch path's per-range adds.
+func (w *csWorker) expandTruncated() {
+	for rk, occ := range w.trunc {
+		for i := int(rk.lo); i < int(rk.hi); i++ {
+			addr := w.bin.Instrs[i].Addr
+			for _, pi := range w.bin.ProbeIndicesAt(addr) {
+				rec := &w.bin.Probes[pi]
+				wt := probeWeight(rec.Factor)
+				if wt == 0 {
+					continue
+				}
+				fp := w.base.FuncProfile(rec.Func)
+				loc := profdata.LocKey{ID: rec.ID}
+				switch rec.Kind {
+				case ir.ProbeBlock:
+					fp.AddBody(loc, wt*occ)
+				case ir.ProbeCall:
+					in := w.bin.InstrAt(addr)
+					if in != nil && (in.Kind == machine.KCall || in.Kind == machine.KTailCall) {
+						fp.AddCall(loc, w.bin.Funcs[in.CalleeID].Name, wt*occ)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanLBR collects tail-call edges (with their global stream position) and
+// indirect-call targets from one sample's LBR — the per-sample half of
+// BuildTailCallGraph and icallTargetsSerial.
+func (w *csWorker) scanLBR(chunkIdx, sampIdx int, lbr []sim.BranchRec) {
+	for bi := range lbr {
+		br := &lbr[bi]
+		in := w.bin.InstrAt(br.From)
+		if in == nil {
+			continue
+		}
+		switch in.Kind {
+		case machine.KTailCall:
+			if w.tails == nil {
+				continue
+			}
+			from := w.bin.FuncAt(br.From)
+			to := w.bin.FuncAt(br.To)
+			if from == nil || to == nil {
+				continue
+			}
+			k := edgeKey{from.Name, to.Name}
+			pos := streamPos{chunkIdx, sampIdx, bi}
+			if cur, ok := w.tails[k]; !ok || pos.before(cur.pos) {
+				w.tails[k] = tailObs{site: br.From, pos: pos}
+			}
+		case machine.KICall:
+			callee := w.bin.FuncAt(br.To)
+			if callee == nil {
+				continue
+			}
+			mm := w.icalls[br.From]
+			if mm == nil {
+				mm = map[string]uint64{}
+				w.icalls[br.From] = mm
+			}
+			mm[callee.Name]++
+		}
+	}
+}
+
+// Finish drains the pipeline, merges per-worker state, resolves every
+// distinct context once against the complete tail-call graph, and returns
+// the profile — byte-identical to the batch generator's output.
+func (s *CSSPGOStream) Finish() (*profdata.Profile, UnwindStats) {
+	close(s.ch)
+	s.wg.Wait()
+	s.usp.End()
+	for _, w := range s.workers {
+		s.opts.Metrics.Histogram(obs.MShardWorkerBusyNS).Observe(w.busyNS)
+	}
+
+	// Tail-call graph: global first observation per edge.
+	var tails *TailCallGraph
+	if s.opts.TailCallInference {
+		tsp := s.opts.Trace.Span("sampling.tailcall_graph")
+		t0 := time.Now()
+		first := map[edgeKey]tailObs{}
+		for _, w := range s.workers {
+			for k, o := range w.tails {
+				if cur, ok := first[k]; !ok || o.pos.before(cur.pos) {
+					first[k] = o
+				}
+			}
+		}
+		tails = &TailCallGraph{edges: map[string]map[string]*TailEdge{}}
+		for k, o := range first {
+			m := tails.edges[k.from]
+			if m == nil {
+				m = map[string]*TailEdge{}
+				tails.edges[k.from] = m
+			}
+			m[k.to] = &TailEdge{From: k.from, To: k.to, SiteAddr: o.site}
+		}
+		s.opts.Metrics.Counter(obs.MShardTailGraphBuildNS).Add(time.Since(t0).Nanoseconds())
+		tsp.End()
+	}
+
+	// Merge worker shards: base profiles, stats, pending tables, icalls.
+	msp := s.opts.Trace.Span("sampling.merge_shards")
+	bases := make([]*profdata.Profile, len(s.workers))
+	icallParts := make([]map[uint64]map[string]uint64, len(s.workers))
+	var st UnwindStats
+	total := 0
+	for i, w := range s.workers {
+		w.expandTruncated()
+		bases[i] = w.base
+		icallParts[i] = w.icalls
+		st.Add(w.u.Stats)
+		total += w.samples
+	}
+	p := profdata.MergeShards(bases)
+	if p == nil {
+		p = profdata.New(profdata.ProbeBased, true)
+	}
+	pending := s.workers[0].pending
+	for _, w := range s.workers[1:] {
+		for k, pc := range w.pending {
+			dst := pending[k]
+			if dst == nil {
+				pending[k] = pc
+				continue
+			}
+			dst.lookups += pc.lookups
+			for rk, n := range pc.ranges {
+				dst.ranges[rk] += n
+			}
+		}
+	}
+	icalls := mergeICallTargets(icallParts)
+	msp.End()
+
+	// Resolve each distinct context once and attribute its deferred counts.
+	rsp := s.opts.Trace.Span("sampling.resolve_contexts", obs.A("contexts", len(pending)))
+	ru := NewUnwinder(s.bin, tails)
+	ru.AssumeAligned = s.opts.AssumeAligned
+	for _, pc := range pending {
+		before := ru.Stats
+		callerCtx := ru.ContextOf(pc.callers, pc.leaf.Name, profdata.ProbeBased)
+		// The batch path replays each context's inference-stat deltas once
+		// per lookup; ContextOf above charged them once, add the rest.
+		if n := pc.lookups - 1; n > 0 {
+			dm := ru.Stats.MissingFrameEvents - before.MissingFrameEvents
+			de := ru.Stats.EventsRecovered - before.EventsRecovered
+			df := ru.Stats.FramesRecovered - before.FramesRecovered
+			ru.Stats.MissingFrameEvents += n * dm
+			ru.Stats.EventsRecovered += n * de
+			ru.Stats.FramesRecovered += n * df
+		}
+		for rk, occ := range pc.ranges {
+			for i := int(rk.lo); i < int(rk.hi); i++ {
+				for _, pi := range s.bin.ProbeIndicesAt(s.bin.Instrs[i].Addr) {
+					rec := &s.bin.Probes[pi]
+					wt := probeWeight(rec.Factor)
+					if wt == 0 {
+						continue
+					}
+					ctx := contextForProbe(callerCtx, rec, s.opts.MaxContextDepth)
+					fp := p.ContextProfile(ctx)
+					loc := profdata.LocKey{ID: rec.ID}
+					switch rec.Kind {
+					case ir.ProbeBlock:
+						fp.AddBody(loc, wt*occ)
+					case ir.ProbeCall:
+						in := s.bin.InstrAt(rec.Addr)
+						if in != nil && (in.Kind == machine.KCall || in.Kind == machine.KTailCall) {
+							fp.AddCall(loc, s.bin.Funcs[in.CalleeID].Name, wt*occ)
+						}
+					}
+				}
+			}
+		}
+	}
+	st.Add(ru.Stats)
+	rsp.End()
+
+	isp := s.opts.Trace.Span("sampling.icall_targets")
+	attributeICallTargetsMap(s.bin, icalls, func(rec *machine.ProbeRec) *profdata.FunctionProfile {
+		return p.FuncProfile(rec.Func)
+	})
+	isp.End()
+	fsp := s.opts.Trace.Span("sampling.finalize")
+	finalizeProbeProfile(s.bin, p)
+	fsp.End()
+
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Counter(obs.MStreamChunks).Add(int64(s.chunks))
+		s.opts.Metrics.Counter(obs.MStreamContexts).Add(int64(len(pending)))
+	}
+	st.Publish(s.opts.Metrics)
+	publishProfileShape(s.opts.Metrics, p, total)
+	return p, st
+}
+
+// ------------------------------------------------------------- flat
+
+// flatWorker is one streaming worker's state for the flat generators: a
+// dense address counter plus the indirect-call histogram.
+type flatWorker struct {
+	bin     *machine.Prog
+	ac      *AddrCounter
+	icalls  map[uint64]map[string]uint64
+	ranges  []Range // per-sample scratch
+	samples int
+}
+
+// FlatStream is the streaming front half of the flat (context-insensitive)
+// generators. It implements sim.SampleSink; FinishAutoFDO or FinishProbe
+// closes the pipeline and runs the corresponding attribution.
+type FlatStream struct {
+	bin     *machine.Prog
+	opts    FlatOptions
+	ch      chan *sim.SampleChunk
+	wg      sync.WaitGroup
+	workers []*flatWorker
+	csp     *obs.Span
+}
+
+// NewFlatStream starts the worker pool. The caller must call exactly one
+// Finish* method after the last chunk.
+func NewFlatStream(bin *machine.Prog, opts FlatOptions) *FlatStream {
+	nw := resolveStreamWorkers(opts.Workers)
+	s := &FlatStream{
+		bin:     bin,
+		opts:    opts,
+		ch:      make(chan *sim.SampleChunk, 2*nw),
+		workers: make([]*flatWorker, nw),
+	}
+	s.csp = opts.Trace.Span("sampling.addr_counts", obs.A("workers", nw))
+	for i := range s.workers {
+		w := &flatWorker{bin: bin, ac: NewAddrCounter(bin), icalls: map[uint64]map[string]uint64{}}
+		s.workers[i] = w
+		s.wg.Add(1)
+		go func(w *flatWorker) {
+			defer s.wg.Done()
+			for ch := range s.ch {
+				w.consume(ch)
+				sim.RecycleChunk(ch)
+			}
+		}(w)
+	}
+	return s
+}
+
+// ConsumeChunk hands one chunk to the worker pool (sim.SampleSink).
+func (s *FlatStream) ConsumeChunk(ch *sim.SampleChunk) { s.ch <- ch }
+
+func (w *flatWorker) consume(ch *sim.SampleChunk) {
+	for si := range ch.Samples {
+		smp := &ch.Samples[si]
+		w.samples++
+		w.ranges = AppendLBRRanges(w.ranges[:0], w.bin, smp.LBR)
+		for _, r := range w.ranges {
+			w.ac.AddRange(r, 1)
+		}
+		for bi := range smp.LBR {
+			br := &smp.LBR[bi]
+			in := w.bin.InstrAt(br.From)
+			if in == nil || in.Kind != machine.KICall {
+				continue
+			}
+			callee := w.bin.FuncAt(br.To)
+			if callee == nil {
+				continue
+			}
+			m := w.icalls[br.From]
+			if m == nil {
+				m = map[string]uint64{}
+				w.icalls[br.From] = m
+			}
+			m[callee.Name]++
+		}
+	}
+}
+
+// drain closes the pipeline and merges per-worker state.
+func (s *FlatStream) drain() (*AddrCounter, map[uint64]map[string]uint64, int) {
+	close(s.ch)
+	s.wg.Wait()
+	ac := s.workers[0].ac
+	icallParts := make([]map[uint64]map[string]uint64, len(s.workers))
+	total := 0
+	for i, w := range s.workers {
+		if i > 0 {
+			ac.Merge(w.ac)
+		}
+		icallParts[i] = w.icalls
+		total += w.samples
+	}
+	s.csp.End()
+	return ac, mergeICallTargets(icallParts), total
+}
+
+// FinishAutoFDO produces the AutoFDO (line-keyed) profile.
+func (s *FlatStream) FinishAutoFDO() *profdata.Profile {
+	ac, icalls, total := s.drain()
+	return generateAutoFDOFrom(s.bin, ac, icalls, s.opts, total)
+}
+
+// FinishProbe produces the flat probe-keyed profile.
+func (s *FlatStream) FinishProbe() *profdata.Profile {
+	ac, icalls, total := s.drain()
+	return generateProbeProfileFrom(s.bin, ac, icalls, s.opts, total)
+}

@@ -1,0 +1,237 @@
+package sampling
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/profdata"
+	"csspgo/internal/sim"
+)
+
+// ---------------------------------- tentpole: streaming/batch equivalence
+
+// TestStreamMatchesBatch is the streaming pipeline's correctness contract:
+// for every generator, worker count and chunk size, the streamed profile
+// must be byte-for-byte the profile the legacy batch path produces from the
+// same samples, and (for CSSPGO) the unwinder stats must agree exactly.
+func TestStreamMatchesBatch(t *testing.T) {
+	for _, src := range []struct {
+		name   string
+		src    string
+		probes bool
+	}{
+		{"hotcold", hotColdSrc, true},
+		{"context", contextSrc, true},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			bin := build(t, src.src, src.probes)
+			samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+			if len(samples) < 8 {
+				t.Skipf("only %d samples", len(samples))
+			}
+
+			batchOpts := DefaultCSSPGOOptions()
+			batchOpts.Stream = false
+			batchOpts.Workers = 1
+			wantCS, wantStats := GenerateCSSPGO(bin, samples, batchOpts)
+			wantCSBin := profdata.EncodeBinary(wantCS)
+			wantProbe := profdata.EncodeBinary(GenerateProbeProfileOpts(bin, samples, FlatOptions{Workers: 1}))
+			wantAuto := profdata.EncodeBinary(GenerateAutoFDOOpts(bin, samples, FlatOptions{Workers: 1}))
+
+			for _, workers := range []int{1, 2, 3, 8, 0} {
+				for _, chunk := range []int{1, 3, 17, 4096} {
+					csOpts := DefaultCSSPGOOptions()
+					csOpts.Stream = true
+					csOpts.Workers = workers
+					csOpts.ChunkSize = chunk
+					got, gotStats := GenerateCSSPGO(bin, samples, csOpts)
+					if !bytes.Equal(profdata.EncodeBinary(got), wantCSBin) {
+						t.Fatalf("cs: workers=%d chunk=%d differs from batch serial", workers, chunk)
+					}
+					if gotStats != wantStats {
+						t.Fatalf("cs: workers=%d chunk=%d stats differ:\nbatch  %+v\nstream %+v",
+							workers, chunk, wantStats, gotStats)
+					}
+					flat := FlatOptions{Workers: workers, Stream: true, ChunkSize: chunk}
+					if b := profdata.EncodeBinary(GenerateProbeProfileOpts(bin, samples, flat)); !bytes.Equal(b, wantProbe) {
+						t.Fatalf("probe: workers=%d chunk=%d differs from batch serial", workers, chunk)
+					}
+					if b := profdata.EncodeBinary(GenerateAutoFDOOpts(bin, samples, flat)); !bytes.Equal(b, wantAuto) {
+						t.Fatalf("autofdo: workers=%d chunk=%d differs from batch serial", workers, chunk)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The sink must also produce identical output when fed by a live machine
+// (chunk handoff from the PMU, pooled chunks, partial final flush) rather
+// than a materialized slice.
+func TestStreamSinkFromMachineMatchesBatch(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	cfg := sim.DefaultPMUConfig(16)
+
+	// Batch reference: materialize, then generate.
+	samples := profileRun(t, bin, cfg, 40, 400)
+	if len(samples) < 8 {
+		t.Skipf("only %d samples", len(samples))
+	}
+	batchOpts := DefaultCSSPGOOptions()
+	batchOpts.Stream = false
+	batchOpts.Workers = 1
+	want, wantStats := GenerateCSSPGO(bin, samples, batchOpts)
+	wantBin := profdata.EncodeBinary(want)
+
+	for _, chunk := range []int{7, 64} {
+		opts := DefaultCSSPGOOptions()
+		opts.Workers = 4
+		st := NewCSSPGOStream(bin, opts)
+		m := sim.New(bin, sim.DefaultCostParams(), cfg)
+		m.SetSampleSink(st, chunk)
+		for i := 0; i < 40; i++ {
+			if _, err := m.Run(400 + int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.FlushSamples()
+		got, gotStats := st.Finish()
+		if !bytes.Equal(profdata.EncodeBinary(got), wantBin) {
+			t.Fatalf("chunk=%d: sink-fed profile differs from batch", chunk)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("chunk=%d: sink-fed stats differ:\nbatch  %+v\nstream %+v", chunk, wantStats, gotStats)
+		}
+	}
+}
+
+// ------------------------------------ satellite: icall merge deep-copies
+
+// TestICallTargetsMergeDeepCopies is the regression test for the aliasing
+// bug: the merged result used to adopt per-shard inner maps by reference,
+// so mutating (or pooling) a shard's map after the merge corrupted the
+// merged histogram.
+func TestICallTargetsMergeDeepCopies(t *testing.T) {
+	shardA := map[uint64]map[string]uint64{
+		0x10: {"f": 1},
+		0x20: {"g": 2},
+	}
+	shardB := map[uint64]map[string]uint64{
+		0x20: {"g": 3},
+		0x30: {"h": 4},
+	}
+	merged := mergeICallTargets([]map[uint64]map[string]uint64{shardA, shardB})
+
+	// Mutate both shards post-merge, as a pooled/reused shard would be.
+	shardA[0x10]["f"] = 999
+	shardA[0x10]["zzz"] = 1
+	shardB[0x30]["h"] = 999
+	delete(shardB[0x20], "g")
+
+	if got := merged[0x10]["f"]; got != 1 {
+		t.Fatalf("merged result aliases shard A: got %d, want 1", got)
+	}
+	if _, ok := merged[0x10]["zzz"]; ok {
+		t.Fatal("merged result aliases shard A: phantom callee appeared")
+	}
+	if got := merged[0x20]["g"]; got != 5 {
+		t.Fatalf("merge sum wrong or aliased: got %d, want 5", got)
+	}
+	if got := merged[0x30]["h"]; got != 4 {
+		t.Fatalf("merged result aliases shard B: got %d, want 4", got)
+	}
+}
+
+// ------------------------------------------- allocation-discipline pins
+
+// TestSteadyStateAllocsPerSample pins the tentpole's allocation budget: once
+// the pending tables, arena and scratch buffers are warm, consuming a chunk
+// must cost at most 8 allocations per sample (in practice ~0).
+func TestSteadyStateAllocsPerSample(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+	if len(samples) < 8 {
+		t.Skipf("only %d samples", len(samples))
+	}
+	opts := DefaultCSSPGOOptions()
+	opts.TailCallInference = true
+	w := newCSWorker(bin, opts)
+	ch := &sim.SampleChunk{Index: 0, Samples: samples, Borrowed: true}
+	w.consume(ch) // warm-up: populate tables and size all scratch buffers
+
+	allocs := testing.AllocsPerRun(10, func() { w.consume(ch) })
+	perSample := allocs / float64(len(samples))
+	t.Logf("steady state: %.3f allocs/sample (%d samples)", perSample, len(samples))
+	if perSample > 8 {
+		t.Fatalf("steady-state allocations per sample = %.2f, budget is 8", perSample)
+	}
+}
+
+// The flat collector has the same budget.
+func TestSteadyStateAllocsPerSampleFlat(t *testing.T) {
+	bin := build(t, contextSrc, true)
+	samples := profileRun(t, bin, sim.DefaultPMUConfig(16), 40, 400)
+	if len(samples) < 8 {
+		t.Skipf("only %d samples", len(samples))
+	}
+	w := &flatWorker{bin: bin, ac: NewAddrCounter(bin), icalls: map[uint64]map[string]uint64{}}
+	ch := &sim.SampleChunk{Index: 0, Samples: samples, Borrowed: true}
+	w.consume(ch)
+
+	allocs := testing.AllocsPerRun(10, func() { w.consume(ch) })
+	perSample := allocs / float64(len(samples))
+	t.Logf("steady state: %.3f allocs/sample (%d samples)", perSample, len(samples))
+	if perSample > 8 {
+		t.Fatalf("steady-state allocations per sample = %.2f, budget is 8", perSample)
+	}
+}
+
+// --------------------------------------------- fuzz: chunked dispatcher
+
+var fuzzStreamOnce struct {
+	sync.Once
+	bin     *machine.Prog
+	samples []sim.Sample
+	want    []byte
+	stats   UnwindStats
+}
+
+// FuzzChunkedDispatcher drives the streaming dispatcher with fuzzer-chosen
+// chunk sizes and worker counts; any combination must reproduce the legacy
+// batch serial output byte-for-byte.
+func FuzzChunkedDispatcher(f *testing.F) {
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(3), uint8(2))
+	f.Add(uint16(17), uint8(5))
+	f.Add(uint16(4096), uint8(8))
+	f.Add(uint16(0), uint8(0))
+	f.Fuzz(func(t *testing.T, chunkSize uint16, workers uint8) {
+		fuzzStreamOnce.Do(func() {
+			fuzzStreamOnce.bin = build(t, contextSrc, true)
+			fuzzStreamOnce.samples = profileRun(t, fuzzStreamOnce.bin, sim.DefaultPMUConfig(16), 20, 300)
+			opts := DefaultCSSPGOOptions()
+			opts.Stream = false
+			opts.Workers = 1
+			p, st := GenerateCSSPGO(fuzzStreamOnce.bin, fuzzStreamOnce.samples, opts)
+			fuzzStreamOnce.want = profdata.EncodeBinary(p)
+			fuzzStreamOnce.stats = st
+		})
+		if len(fuzzStreamOnce.samples) == 0 {
+			t.Skip("no samples")
+		}
+		opts := DefaultCSSPGOOptions()
+		opts.Stream = true
+		opts.ChunkSize = int(chunkSize) // 0 falls back to the default size
+		opts.Workers = int(workers) % 17
+		got, gotStats := GenerateCSSPGO(fuzzStreamOnce.bin, fuzzStreamOnce.samples, opts)
+		if !bytes.Equal(profdata.EncodeBinary(got), fuzzStreamOnce.want) {
+			t.Fatalf("chunk=%d workers=%d: streamed profile differs from batch serial", chunkSize, opts.Workers)
+		}
+		if gotStats != fuzzStreamOnce.stats {
+			t.Fatalf("chunk=%d workers=%d: stats differ:\nbatch  %+v\nstream %+v",
+				chunkSize, opts.Workers, fuzzStreamOnce.stats, gotStats)
+		}
+	})
+}

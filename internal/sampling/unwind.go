@@ -20,6 +20,11 @@ type CtxRange struct {
 	R         Range
 	Callers   []uint64
 	Truncated bool
+	// SameCallers reports that Callers is content-identical to the previous
+	// CtxRange emitted for this sample (false for the first). Intra-function
+	// branches dominate hot LBRs, so consumers aggregating by context can
+	// reuse the previous range's context lookup instead of re-hashing.
+	SameCallers bool
 }
 
 // UnwindStats counts missing-frame inference outcomes.
@@ -50,6 +55,11 @@ func (s *UnwindStats) Add(o UnwindStats) {
 // samples — the paper's Algorithm 1. LBR branches are processed in reverse
 // execution order (newest first), undoing each branch's frame effect to
 // recover the stack in effect when each linear range executed.
+//
+// Unwind reuses internal scratch buffers: the returned ranges and their
+// Callers slices stay valid only until the next Unwind call. Callers that
+// need the data longer must copy it (the streaming collector copies Callers
+// once per distinct context).
 type Unwinder struct {
 	bin   *machine.Prog
 	tails *TailCallGraph // nil disables missing-frame inference
@@ -58,6 +68,13 @@ type Unwinder struct {
 	AssumeAligned bool
 
 	ctxCache map[string]ctxEntry
+
+	// Per-call scratch, reused across Unwind/ContextOf calls so the
+	// steady-state hot path does not allocate.
+	keyBuf     []byte
+	callersBuf []uint64
+	outBuf     []CtxRange
+	arena      []uint64 // backing store for the returned Callers slices
 }
 
 // ctxEntry memoizes one resolved context together with the inference-stat
@@ -87,7 +104,7 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 	u.Stats.Samples++
 	// The stack sample is leaf-first [pc, ret1, ret2, ...]; the virtual
 	// stack keeps callers only, outermost first.
-	callers := make([]uint64, 0, len(s.Stack)-1)
+	callers := u.callersBuf[:0]
 	for i := len(s.Stack) - 1; i >= 1; i-- {
 		callers = append(callers, s.Stack[i])
 	}
@@ -105,8 +122,10 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 		}
 	}
 
-	out := make([]CtxRange, 0, len(s.LBR))
+	out := u.outBuf[:0]
+	u.arena = u.arena[:0]
 	truncated := false
+	mutated := false // callers changed since the last emitted range
 	for i := 0; i+1 < len(s.LBR); i++ {
 		br := s.LBR[i]
 		if aligned || i > 0 {
@@ -126,9 +145,11 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 					truncated = true
 				} else {
 					callers = callers[:len(callers)-1]
+					mutated = true
 				}
 			case machine.KRet:
 				callers = append(callers, br.To)
+				mutated = true
 			case machine.KTailCall:
 				// Frame was reused: leaf function changes, callers do not.
 			}
@@ -141,8 +162,17 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 		if truncated {
 			u.Stats.TruncatedRanges++
 		}
-		out = append(out, CtxRange{R: r, Callers: append([]uint64(nil), callers...), Truncated: truncated})
+		// Snapshot callers into the arena. Each snapshot is capped with a
+		// three-index slice, so a later arena append either writes past it
+		// or reallocates — never into an already-handed-out snapshot.
+		start := len(u.arena)
+		u.arena = append(u.arena, callers...)
+		cc := u.arena[start:len(u.arena):len(u.arena)]
+		out = append(out, CtxRange{R: r, Callers: cc, Truncated: truncated, SameCallers: len(out) > 0 && !mutated})
+		mutated = false
 	}
+	u.callersBuf = callers[:0]
+	u.outBuf = out
 	return out
 }
 
@@ -152,13 +182,17 @@ func (u *Unwinder) Unwind(s sim.Sample) []CtxRange {
 // returned context holds caller frames only — the caller appends the leaf
 // frame(s). leafFunc is the physical function the ranges execute in.
 func (u *Unwinder) ContextOf(callers []uint64, leafFunc string, kind profdata.Kind) profdata.Context {
-	key := cacheKey(callers, leafFunc, kind)
-	if e, ok := u.ctxCache[key]; ok {
+	// The map lookup through string(keyBuf) compiles to a no-copy probe, so
+	// the cache-hit path allocates nothing; the key is materialized as a
+	// string only when a new entry must be stored.
+	u.keyBuf = appendCacheKey(u.keyBuf[:0], callers, leafFunc, kind)
+	if e, ok := u.ctxCache[string(u.keyBuf)]; ok {
 		u.Stats.MissingFrameEvents += e.missing
 		u.Stats.EventsRecovered += e.recovered
 		u.Stats.FramesRecovered += e.frames
 		return e.ctx
 	}
+	key := string(u.keyBuf)
 	var ctx profdata.Context
 	var e ctxEntry
 	for i, resume := range callers {
@@ -280,14 +314,19 @@ func (u *Unwinder) siteOfAddr(addr uint64, fn string, kind profdata.Kind) profda
 // prefix, a context of N callers could alias a context of N-1 callers whose
 // leaf name happened to start with the missing address's bytes.
 func cacheKey(callers []uint64, leaf string, kind profdata.Kind) string {
-	b := make([]byte, 0, binary.MaxVarintLen64+len(callers)*8+len(leaf)+1)
-	b = binary.AppendUvarint(b, uint64(len(callers)))
+	return string(appendCacheKey(nil, callers, leaf, kind))
+}
+
+// appendCacheKey renders the key into dst (reusing its backing array), so
+// hot paths can probe key-indexed maps without materializing a string.
+func appendCacheKey(dst []byte, callers []uint64, leaf string, kind profdata.Kind) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(callers)))
 	for _, a := range callers {
 		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(a>>s))
+			dst = append(dst, byte(a>>s))
 		}
 	}
-	b = append(b, byte(kind))
-	b = append(b, leaf...)
-	return string(b)
+	dst = append(dst, byte(kind))
+	dst = append(dst, leaf...)
+	return dst
 }

@@ -63,6 +63,13 @@ type pmu struct {
 	countdown uint64
 	rng       uint64
 	samples   []Sample
+
+	// Streaming mode (see sink.go): when sink is non-nil, samples go into
+	// pooled chunks handed to the sink instead of the samples slice.
+	sink      SampleSink
+	chunkSize int
+	chunk     *SampleChunk
+	chunkIdx  int
 }
 
 func newPMU(cfg PMUConfig) *pmu {
@@ -119,25 +126,64 @@ func (p *pmu) recordBranch(from, to uint64) bool {
 
 // snapshotLBR returns the LBR contents newest-first.
 func (p *pmu) snapshotLBR() []BranchRec {
+	return p.snapshotLBRInto(nil)
+}
+
+// snapshotLBRInto appends the LBR contents newest-first to dst (reusing its
+// backing array) and returns the result.
+func (p *pmu) snapshotLBRInto(dst []BranchRec) []BranchRec {
 	n := p.lbrPos
 	if p.lbrFull {
 		n = len(p.lbr)
 	}
-	out := make([]BranchRec, 0, n)
 	for i := 0; i < n; i++ {
 		idx := p.lbrPos - 1 - i
 		if idx < 0 {
 			idx += len(p.lbr)
 		}
-		out = append(out, p.lbr[idx])
+		dst = append(dst, p.lbr[idx])
 	}
-	return out
+	return dst
 }
 
 func (p *pmu) takeSample(stack []uint64) {
+	if p.sink != nil {
+		p.takeSampleStreaming(stack)
+		return
+	}
 	s := Sample{LBR: p.snapshotLBR()}
 	if p.cfg.SampleStacks {
 		s.Stack = append([]uint64(nil), stack...)
 	}
 	p.samples = append(p.samples, s)
+}
+
+// takeSampleStreaming writes the sample into the current pooled chunk,
+// reusing the slot's LBR/Stack backing arrays, and hands the chunk to the
+// sink when it reaches the configured chunk size.
+func (p *pmu) takeSampleStreaming(stack []uint64) {
+	if p.chunk == nil {
+		p.chunk = GetChunk(p.chunkSize)
+		p.chunk.Index = p.chunkIdx
+	}
+	s := p.chunk.appendSlot()
+	s.LBR = p.snapshotLBRInto(s.LBR[:0])
+	s.Stack = s.Stack[:0]
+	if p.cfg.SampleStacks {
+		s.Stack = append(s.Stack, stack...)
+	}
+	if len(p.chunk.Samples) >= p.chunkSize {
+		p.flushChunk()
+	}
+}
+
+// flushChunk delivers the buffered chunk (possibly partial) to the sink.
+func (p *pmu) flushChunk() {
+	if p.sink == nil || p.chunk == nil || len(p.chunk.Samples) == 0 {
+		return
+	}
+	ch := p.chunk
+	p.chunk = nil
+	p.chunkIdx++
+	p.sink.ConsumeChunk(ch)
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Alloc-regression gate: re-runs the streaming-generation benchmark and
+# fails if any lane's allocs/op grew more than 10% over the committed
+# baseline (BENCH_ALLOC_BASELINE.txt). Allocation counts are deterministic
+# modulo map-growth timing, so 10% headroom is generous; a real hot-path
+# regression (a lost pooled buffer, a de-interned key) shows up as 2x+.
+set -eu
+cd "$(dirname "$0")/.."
+
+base=${1:-BENCH_ALLOC_BASELINE.txt}
+if [ ! -f "$base" ]; then
+	echo "allocgate: baseline $base not found" >&2
+	exit 1
+fi
+
+out=$(go test -run '^$' -bench 'BenchmarkStreamingGeneration' -benchtime 10x -benchmem .)
+echo "$out" | grep 'allocs/op' | awk -v basefile="$base" '
+BEGIN {
+	while ((getline line < basefile) > 0) {
+		if (line ~ /^#/ || line == "") continue
+		split(line, f, " ")
+		want[f[1]] = f[2]
+	}
+}
+{
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix, if any
+	allocs = ""
+	for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+	if (allocs == "") next
+	if (!(name in want)) {
+		printf "allocgate: no baseline for %s (add it to %s)\n", name, basefile
+		bad = 1
+		next
+	}
+	if (allocs + 0 > want[name] * 1.10) {
+		printf "allocgate: REGRESSION %s: %d allocs/op > 110%% of baseline %d\n", name, allocs, want[name]
+		bad = 1
+	} else {
+		printf "allocgate: %s: %d allocs/op (baseline %d) OK\n", name, allocs, want[name]
+	}
+}
+END { exit bad }
+'

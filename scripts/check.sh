@@ -34,6 +34,10 @@ for target in FuzzFoldedText FuzzFoldedBinary; do
 	go test ./internal/introspect -run="^$target\$" -fuzz="^$target\$" -fuzztime=5s
 done
 go test ./internal/opt -run='^FuzzTranslationValidate$' -fuzz='^FuzzTranslationValidate$' -fuzztime=5s
+go test ./internal/sampling -run='^FuzzChunkedDispatcher$' -fuzz='^FuzzChunkedDispatcher$' -fuzztime=5s
+
+echo "== alloc-regression gate (streaming generation hot path)"
+sh scripts/allocgate.sh
 
 echo "== csspgo lint (examples)"
 go build -o bin/csspgo ./cmd/csspgo
