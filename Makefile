@@ -10,9 +10,10 @@ test:
 
 # Race lane: the packages exercising the sharded profile-generation worker
 # pool under the race detector, the shared metric registry they publish
-# into, and the serving daemon's atomic profile swap.
+# into, the serving daemon's atomic profile swap, and the fleet
+# aggregator's concurrent per-source fetches.
 race:
-	$(GO) test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect
+	$(GO) test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect ./internal/fleet
 
 # Bench lane: Go micro-benchmarks, then the Fig. 6 corpus through the
 # run-report emitter — BENCH_4.json carries ns-comparable stage timings and

@@ -13,6 +13,7 @@
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-tv [-inject kind@pass [-inject-seed N]]] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
 //	csspgo report  a.json [b.json] | csspgo report -diff [-threshold PCT] a.json b.json | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
 //	csspgo serve   -addr :8572 [-workload hhvm -scale 1 | src.ml... [-n 60 -seed 1 -bound 1000]] [-name NAME] [-refresh 30s] [-period 797] [-workers N]
+//	csspgo fleet   -o fleet.prof [-rounds 1 -interval 30s] [-timeout 2s -retries 2] [-quota N -freshness 5m] [-min-overlap 0.5 -threshold 10] [-weights 1,2,...] [-inject poison-counts] [-report r.json] url...
 //
 // -trace writes Chrome trace-event JSON (load it in chrome://tracing or
 // Perfetto); -report writes a machine-readable run manifest that `csspgo
@@ -62,6 +63,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	default:
 		usage()
 	}
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report|serve|fleet> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,327 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
+)
+
+// Source is one serving instance the aggregator polls. URL points at the
+// instance's profile endpoint (`http://host:port/profiles/<name>`). The
+// unexported fields are the aggregator's per-source health state; a Source
+// must not be shared between aggregators.
+type Source struct {
+	Name   string
+	URL    string
+	Weight uint64 // merge weight (0 means 1): counts are scaled by Weight before merging
+
+	breaker *Breaker
+	lastGen uint64    // highest X-Profile-Generation observed
+	advance time.Time // when lastGen last advanced
+	seen    bool      // any generation observed yet
+}
+
+// Breaker exposes the source's circuit breaker (nil before the source is
+// adopted by an aggregator).
+func (s *Source) Breaker() *Breaker { return s.breaker }
+
+// Config tunes one aggregator.
+type Config struct {
+	Fetch   FetchConfig
+	Breaker BreakerConfig
+	// Quota caps any one source's contributed samples per round: a source
+	// whose decoded profile carries more is scaled down to the quota before
+	// merging, so a count-inflating (or merely enormous) instance cannot
+	// dominate the merge. 0 disables the clamp.
+	Quota uint64
+	// Freshness excludes a source whose profile generation has not advanced
+	// for longer than this window — it is serving, but serving stale data.
+	// 0 disables the check.
+	Freshness time.Duration
+	// Now is the clock used for freshness accounting (nil = time.Now).
+	Now func() time.Time
+	// Trace, when set, records fleet.round / fleet.fetch / fleet.merge
+	// spans under it (nil-safe like every span in the pipeline).
+	Trace *obs.Span
+}
+
+// SourceState classifies one source's outcome in a round.
+type SourceState string
+
+// Source outcomes. Only StateMerged contributes to the merged profile.
+const (
+	StateMerged       SourceState = "merged"
+	StateBreakerOpen  SourceState = "breaker-open"
+	StateFetchFailed  SourceState = "fetch-failed"
+	StateDecodeFailed SourceState = "decode-failed"
+	StateEpochReplay  SourceState = "epoch-replay"
+	StateStale        SourceState = "stale"
+	StateKindMismatch SourceState = "kind-mismatch"
+)
+
+// SourceOutcome is one source's result in one aggregation round.
+type SourceOutcome struct {
+	Source     string
+	State      SourceState
+	Attempts   int
+	Generation uint64
+	Samples    uint64 // samples contributed after quota clamp and weighting
+	Clamped    bool   // quota clamp applied
+	Skipped    int    // records+lines the lenient decoder discarded
+	Err        string // failure detail (empty on success)
+}
+
+// Round is the result of one aggregation pass over the fleet.
+type Round struct {
+	// Merged is the weighted cross-instance merge of every healthy source
+	// (nil when no source could be merged).
+	Merged   *profdata.Profile
+	Outcomes []SourceOutcome
+	Healthy  int // sources in StateMerged
+}
+
+// Summary renders one line per source, in fleet order.
+func (r *Round) Summary() string {
+	var sb strings.Builder
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&sb, "  %-12s %-14s gen=%-4d attempts=%d samples=%d", o.Source, o.State, o.Generation, o.Attempts, o.Samples)
+		if o.Clamped {
+			sb.WriteString(" clamped")
+		}
+		if o.Skipped > 0 {
+			fmt.Fprintf(&sb, " skipped=%d", o.Skipped)
+		}
+		if o.Err != "" {
+			fmt.Fprintf(&sb, " err=%s", o.Err)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Aggregator polls a fixed fleet of sources and merges their profiles.
+// Rounds are sequential (RoundOnce is not reentrant); within a round the
+// sources are fetched concurrently and merged in fleet order, so the merged
+// profile is deterministic in which sources succeeded, never in timing.
+type Aggregator struct {
+	cfg     Config
+	sources []*Source
+	fetcher *Fetcher
+	reg     *obs.Registry
+	now     func() time.Time
+}
+
+// NewAggregator adopts the sources (installing a breaker on each) and
+// publishes fleet.* metrics into reg (which may be nil for none).
+func NewAggregator(sources []*Source, cfg Config, reg *obs.Registry) *Aggregator {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	for _, s := range sources {
+		s.breaker = NewBreaker(cfg.Breaker, now)
+		if s.Weight == 0 {
+			s.Weight = 1
+		}
+	}
+	return &Aggregator{
+		cfg:     cfg,
+		sources: sources,
+		fetcher: NewFetcher(cfg.Fetch),
+		reg:     reg,
+		now:     now,
+	}
+}
+
+// Sources returns the fleet in order.
+func (a *Aggregator) Sources() []*Source { return a.sources }
+
+// RoundOnce fetches every admissible source once (concurrently, each under
+// its own deadline/retry budget), applies freshness, epoch, quota and
+// weight policy, and merges the survivors in fleet order.
+func (a *Aggregator) RoundOnce(ctx context.Context) *Round {
+	start := a.now()
+	rsp := a.cfg.Trace.Span("fleet.round")
+	defer rsp.End()
+
+	type slot struct {
+		outcome SourceOutcome
+		prof    *profdata.Profile
+	}
+	slots := make([]slot, len(a.sources))
+
+	fsp := rsp.Span("fleet.fetch", obs.A("sources", len(a.sources)))
+	var wg sync.WaitGroup
+	for i, s := range a.sources {
+		wg.Add(1)
+		go func(i int, s *Source) {
+			defer wg.Done()
+			slots[i].outcome, slots[i].prof = a.pollSource(ctx, s)
+		}(i, s)
+	}
+	wg.Wait()
+	fsp.End()
+
+	round := &Round{}
+	msp := rsp.Span("fleet.merge")
+	var shards []*profdata.Profile
+	var kind profdata.Kind
+	cs := false
+	for i := range slots {
+		o := &slots[i].outcome
+		if o.State == StateMerged {
+			p := slots[i].prof
+			if len(shards) == 0 {
+				kind = p.Kind
+			} else if p.Kind != kind {
+				o.State = StateKindMismatch
+				o.Err = fmt.Sprintf("profile kind %s, fleet merges %s", p.Kind, kind)
+				o.Samples = 0
+				a.reg.Counter(obs.MFleetDecodeFailures).Add(1)
+				round.Outcomes = append(round.Outcomes, *o)
+				continue
+			}
+			cs = cs || p.CS
+			shards = append(shards, p)
+			round.Healthy++
+		}
+		round.Outcomes = append(round.Outcomes, *o)
+	}
+	if len(shards) > 0 {
+		round.Merged = profdata.MergeShards(shards)
+		round.Merged.CS = cs
+		a.reg.Counter(obs.MFleetMergeSources).Add(int64(len(shards)))
+		a.reg.Counter(obs.MFleetMergeSamples).Add(int64(round.Merged.TotalSamples()))
+	}
+	msp.End()
+	a.reg.Counter(obs.MFleetRounds).Add(1)
+	a.reg.Histogram(obs.MFleetRoundNS).Observe(a.now().Sub(start).Nanoseconds())
+	return round
+}
+
+// pollSource runs one source through the round's admission pipeline:
+// breaker, fetch, lenient decode, epoch/freshness policy, quota clamp,
+// weighting. It returns the outcome and, for StateMerged, the scaled
+// profile ready to merge.
+func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, *profdata.Profile) {
+	o := SourceOutcome{Source: s.Name}
+	before := s.breaker.Stats()
+	defer func() { a.publishBreakerDelta(before, s.breaker.Stats()) }()
+
+	if !s.breaker.Allow() {
+		o.State = StateBreakerOpen
+		o.Err = "circuit breaker open"
+		return o, nil
+	}
+
+	res, err := a.fetcher.Fetch(ctx, s.URL)
+	o.Attempts = res.Attempts
+	a.reg.Counter(obs.MFleetFetchAttempts).Add(int64(res.Attempts))
+	if res.Attempts > 1 {
+		a.reg.Counter(obs.MFleetFetchRetries).Add(int64(res.Attempts - 1))
+	}
+	if err != nil {
+		s.breaker.OnFailure()
+		a.reg.Counter(obs.MFleetFetchFailures).Add(1)
+		o.State = StateFetchFailed
+		o.Err = err.Error()
+		return o, nil
+	}
+
+	prof, stats, err := profdata.DecodeAnyLenient(res.Body)
+	o.Skipped = stats.SkippedRecords + stats.SkippedLines
+	if o.Skipped > 0 {
+		a.reg.Counter(obs.MFleetDecodeSkipped).Add(int64(o.Skipped))
+	}
+	if err != nil {
+		// A payload even the lenient decoder rejects is a source fault, the
+		// same as a failed fetch: it counts against the breaker.
+		s.breaker.OnFailure()
+		a.reg.Counter(obs.MFleetDecodeFailures).Add(1)
+		o.State = StateDecodeFailed
+		o.Err = err.Error()
+		return o, nil
+	}
+
+	// Per-source state below is touched only by this source's goroutine
+	// (one per round, rounds sequential), so no locking is needed.
+	o.Generation = res.Generation
+	now := a.now()
+	if res.Generation > 0 {
+		switch {
+		case s.seen && res.Generation < s.lastGen:
+			// A generation older than one we already saw: a replayed or
+			// rolled-back artifact. Reject it and count it against the
+			// breaker — a replaying source is a faulty source.
+			s.breaker.OnFailure()
+			a.reg.Counter(obs.MFleetEpochReplays).Add(1)
+			o.State = StateEpochReplay
+			o.Err = fmt.Sprintf("generation %d older than observed %d", res.Generation, s.lastGen)
+			return o, nil
+		case !s.seen || res.Generation > s.lastGen:
+			s.lastGen = res.Generation
+			s.advance = now
+			s.seen = true
+		}
+	}
+	stale := a.cfg.Freshness > 0 && s.seen && now.Sub(s.advance) > a.cfg.Freshness
+
+	// The source answered correctly — it is healthy HTTP-wise even if its
+	// data is stale, so the breaker hears success either way.
+	s.breaker.OnSuccess()
+	if stale {
+		a.reg.Counter(obs.MFleetStaleDrops).Add(1)
+		o.State = StateStale
+		o.Err = fmt.Sprintf("generation %d stagnant beyond %s", o.Generation, a.cfg.Freshness)
+		return o, nil
+	}
+
+	total := prof.TotalSamples()
+	if a.cfg.Quota > 0 && total > a.cfg.Quota {
+		scaleProfile(prof, a.cfg.Quota, total)
+		a.reg.Counter(obs.MFleetQuotaClamps).Add(1)
+		o.Clamped = true
+		total = prof.TotalSamples()
+	}
+	if s.Weight > 1 {
+		scaleProfile(prof, s.Weight, 1)
+		total = prof.TotalSamples()
+	}
+	o.Samples = total
+	o.State = StateMerged
+	return o, prof
+}
+
+func (a *Aggregator) publishBreakerDelta(before, after BreakerStats) {
+	if d := after.Opens - before.Opens; d > 0 {
+		a.reg.Counter(obs.MFleetBreakerOpens).Add(d)
+	}
+	if d := after.HalfOpens - before.HalfOpens; d > 0 {
+		a.reg.Counter(obs.MFleetBreakerHalfOpens).Add(d)
+	}
+	if d := after.Closes - before.Closes; d > 0 {
+		a.reg.Counter(obs.MFleetBreakerCloses).Add(d)
+	}
+	if d := after.ShortCircuits - before.ShortCircuits; d > 0 {
+		a.reg.Counter(obs.MFleetBreakerShortCircuits).Add(d)
+	}
+}
+
+// scaleProfile multiplies every count in p by num/den (quota clamps and
+// merge weights).
+func scaleProfile(p *profdata.Profile, num, den uint64) {
+	for _, fp := range p.Funcs {
+		fp.Scale(num, den)
+	}
+	for _, fp := range p.Contexts {
+		fp.Scale(num, den)
+	}
+}

@@ -95,31 +95,52 @@ func (s *Server) Current() *Served { return s.cur.Load() }
 // Generation returns the current swap count.
 func (s *Server) Generation() uint64 { return s.gen.Load() }
 
-// RefreshLoop re-profiles on every tick until ctx is done, swapping in
-// each fresh profile+report. Failures count on serve.refresh_failures and
-// keep the previous generation serving.
+// nextRefreshDelay returns the wait before the next refresh attempt after
+// the given number of consecutive failures: the plain interval while
+// healthy, doubling per failure up to 8x — a persistently broken collector
+// must not be hammered at full cadence, but recovery is probed forever.
+func nextRefreshDelay(interval time.Duration, failures int) time.Duration {
+	if failures <= 0 {
+		return interval
+	}
+	shift := failures
+	if shift > 3 {
+		shift = 3
+	}
+	return interval << shift
+}
+
+// RefreshLoop re-profiles on every interval until ctx is done, swapping in
+// each fresh profile+report. A failed refresh counts on
+// serve.refresh_failures and keeps the previous generation serving; while
+// failures persist the loop backs off (capped exponential, up to 8x the
+// interval) instead of retrying at full cadence, and the first success
+// restores the normal rhythm.
 func (s *Server) RefreshLoop(ctx context.Context, interval time.Duration, refresh RefreshFunc) {
 	if interval <= 0 || refresh == nil {
 		return
 	}
-	t := time.NewTicker(interval)
+	failures := 0
+	t := time.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			prof, rep, err := refresh()
-			if err != nil {
-				s.refreshFailures.Add(1)
-				continue
-			}
-			if err := s.SetProfile(prof, rep); err != nil {
-				s.refreshFailures.Add(1)
-				continue
-			}
+		}
+		prof, rep, err := refresh()
+		if err == nil {
+			err = s.SetProfile(prof, rep)
+		}
+		if err != nil {
+			failures++
+			s.refreshFailures.Add(1)
+		} else {
+			failures = 0
 			s.refreshes.Add(1)
 		}
+		t.Reset(nextRefreshDelay(interval, failures))
 	}
 }
 
@@ -193,11 +214,41 @@ func (s *Server) serveFolded(w http.ResponseWriter, r *http.Request, name string
 	w.Write(cur.Folded)
 }
 
+// maxRequestBody caps request bodies: the daemon's whole surface is GET,
+// so anything beyond a trivial body is a malformed or hostile client.
+const maxRequestBody = 1 << 20
+
+// capRequestBody rejects requests declaring an oversized body outright and
+// caps undeclared (chunked) bodies at the same limit.
+func capRequestBody(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > maxRequestBody {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// httpServer builds the hardened http.Server the daemon runs: every I/O
+// phase is bounded, so a slow-loris client (or a stalled network) cannot
+// pin connections open indefinitely, and request bodies are capped.
+func (s *Server) httpServer() *http.Server {
+	return &http.Server{
+		Handler:           capRequestBody(s.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve runs an HTTP server on l until ctx is done, then shuts down
 // gracefully (in-flight requests get up to five seconds to finish).
 // A closed listener after shutdown is a clean exit, not an error.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
-	hs := &http.Server{Handler: s.Handler()}
+	hs := s.httpServer()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(l) }()
 	select {

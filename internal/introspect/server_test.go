@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -135,6 +136,93 @@ func TestRefreshLoopSwaps(t *testing.T) {
 	cur := s.Current()
 	if cur == nil || cur.Generation < 3 {
 		t.Fatalf("current = %+v", cur)
+	}
+}
+
+// The backoff schedule: full cadence while healthy, doubling per
+// consecutive failure, capped at 8x, reset by success.
+func TestNextRefreshDelay(t *testing.T) {
+	const iv = time.Second
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{0, iv}, {1, 2 * iv}, {2, 4 * iv}, {3, 8 * iv}, {4, 8 * iv}, {100, 8 * iv}, {-1, iv},
+	}
+	for _, c := range cases {
+		if got := nextRefreshDelay(iv, c.failures); got != c.want {
+			t.Fatalf("nextRefreshDelay(%v, %d) = %v, want %v", iv, c.failures, got, c.want)
+		}
+	}
+}
+
+// A failing refresher keeps the last-good generation serving and recovers
+// to normal cadence once it heals.
+func TestRefreshLoopBacksOffAndRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer("p", reg)
+	if err := s.SetProfile(testProfile(), nil); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	gen1 := s.Current()
+
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RefreshLoop(ctx, time.Millisecond, func() (*profdata.Profile, *obs.Report, error) {
+			if calls.Add(1) <= 3 {
+				return nil, nil, io.ErrUnexpectedEOF
+			}
+			return testProfile(), nil, nil
+		})
+	}()
+	deadline := time.After(5 * time.Second)
+	for reg.Counter(obs.MServeRefreshes).Value() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("loop never recovered from failures")
+		case <-time.After(time.Millisecond):
+		}
+		// Throughout the failure streak the original generation serves.
+		if f := reg.Counter(obs.MServeRefreshFailures).Value(); f > 0 && f < 3 && s.Current() != gen1 {
+			t.Fatal("failed refresh replaced the served generation")
+		}
+	}
+	cancel()
+	<-done
+	if got := reg.Counter(obs.MServeRefreshFailures).Value(); got != 3 {
+		t.Fatalf("serve.refresh_failures = %d, want 3 (one per attempt)", got)
+	}
+	if s.Generation() < 3 {
+		t.Fatalf("generation = %d after recovery", s.Generation())
+	}
+}
+
+// The daemon's http.Server bounds every connection phase and caps request
+// bodies — a slow or hostile client cannot pin it open.
+func TestHTTPServerHardened(t *testing.T) {
+	s := NewServer("p", obs.NewRegistry())
+	hs := s.httpServer()
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Fatalf("unbounded server phase: %+v", hs)
+	}
+	if err := s.SetProfile(testProfile(), nil); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	// The body cap rejects oversized uploads instead of reading them.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/healthz", bytes.NewReader(make([]byte, maxRequestBody+1)))
+	hs.Handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want %d", rec.Code, http.StatusRequestEntityTooLarge)
+	}
+	// Normal requests pass through the cap untouched.
+	rec = httptest.NewRecorder()
+	hs.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/profiles/p", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET through hardened handler: %d", rec.Code)
 	}
 }
 

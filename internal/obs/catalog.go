@@ -100,6 +100,29 @@ const (
 	MServeRefreshes       = "serve.refreshes"
 	MServeRefreshFailures = "serve.refresh_failures"
 	MServeSwapLatencyNS   = "serve.swap_latency_ns"
+
+	// internal/fleet — the fleet aggregation control plane. Like serve.*,
+	// the fleet.* prefix is reserved: these metrics are the control plane's
+	// public health surface, so ad-hoc names are lint errors.
+	MFleetFetchAttempts        = "fleet.fetch.attempts"
+	MFleetFetchRetries         = "fleet.fetch.retries"
+	MFleetFetchFailures        = "fleet.fetch.failures"
+	MFleetDecodeFailures       = "fleet.decode.failures"
+	MFleetDecodeSkipped        = "fleet.decode.skipped_records"
+	MFleetBreakerOpens         = "fleet.breaker.opens"
+	MFleetBreakerHalfOpens     = "fleet.breaker.half_opens"
+	MFleetBreakerCloses        = "fleet.breaker.closes"
+	MFleetBreakerShortCircuits = "fleet.breaker.short_circuits"
+	MFleetQuotaClamps          = "fleet.quota.clamps"
+	MFleetStaleDrops           = "fleet.freshness.stale_drops"
+	MFleetEpochReplays         = "fleet.freshness.epoch_replays"
+	MFleetRounds               = "fleet.merge.rounds"
+	MFleetMergeSources         = "fleet.merge.sources"
+	MFleetMergeSamples         = "fleet.merge.samples"
+	MFleetPromotions           = "fleet.gate.promotions"
+	MFleetGateFailures         = "fleet.gate.failures"
+	MFleetRollbacks            = "fleet.gate.rollbacks"
+	MFleetRoundNS              = "fleet.round_ns"
 )
 
 // CatalogNames lists every statically declared metric name (dynamic names,
@@ -131,14 +154,23 @@ func CatalogNames() []string {
 		MQualityFuncDivergence,
 		MServeRequests, MServeRefreshes, MServeRefreshFailures,
 		MServeSwapLatencyNS,
+		MFleetFetchAttempts, MFleetFetchRetries, MFleetFetchFailures,
+		MFleetDecodeFailures, MFleetDecodeSkipped,
+		MFleetBreakerOpens, MFleetBreakerHalfOpens, MFleetBreakerCloses,
+		MFleetBreakerShortCircuits,
+		MFleetQuotaClamps, MFleetStaleDrops, MFleetEpochReplays,
+		MFleetRounds, MFleetMergeSources, MFleetMergeSamples,
+		MFleetPromotions, MFleetGateFailures, MFleetRollbacks,
+		MFleetRoundNS,
 	}
 }
 
 // ReservedMetricPrefixes lists namespaces whose every metric must be
-// declared in the static catalog. The serving daemon's metrics are part of
-// its public HTTP contract (`/metrics`), so ad-hoc serve.* names are lint
-// errors rather than dynamic extensions.
-func ReservedMetricPrefixes() []string { return []string{"serve."} }
+// declared in the static catalog. The serving daemon's and the fleet
+// control plane's metrics are part of their public contracts (`/metrics`,
+// run manifests), so ad-hoc serve.* / fleet.* names are lint errors rather
+// than dynamic extensions.
+func ReservedMetricPrefixes() []string { return []string{"serve.", "fleet."} }
 
 // metricNameRE is the canonical metric-name shape: dotted lowercase path
 // with at least two segments.

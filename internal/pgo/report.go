@@ -2,6 +2,7 @@ package pgo
 
 import (
 	"fmt"
+	"strings"
 
 	"csspgo/internal/obs"
 )
@@ -85,6 +86,15 @@ func PublishExperiment(reg *obs.Registry, name string, res any) {
 			gauge(row.Workload+".stream_samples_per_sec", row.StreamPerSec)
 			gauge(row.Workload+".batch_samples_per_sec", row.BatchPerSec)
 		}
+	case *FleetFaultsResult:
+		for _, c := range r.Cells {
+			// Fault names use '-', the metric grammar wants '_'.
+			key := strings.ReplaceAll(c.Fault.String(), "-", "_")
+			gauge(key+".overlap", c.Overlap)
+			gauge(key+".healthy_sources", float64(c.Healthy))
+		}
+		gauge("overlap_bound", r.Bound)
+		gauge("poison_overlap", r.PoisonOverlap)
 	}
 }
 

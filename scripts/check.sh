@@ -21,8 +21,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (parallel profile generation + metric registry + profile serving)"
-go test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect
+echo "== go test -race (parallel profile generation + metric registry + profile serving + fleet aggregation)"
+go test -race ./internal/sampling ./internal/pgo ./internal/obs ./internal/introspect ./internal/fleet
 
 echo "== fuzz smoke (profile readers + folded codecs, 5s per target)"
 # One target per invocation: go test rejects -fuzz patterns matching
@@ -142,5 +142,58 @@ curl -sf "$url/profiles/quickstart" > "$obsdir/served.prof"
 bin/csspgo inspect -profile "$obsdir/served.prof" -folded >/dev/null
 kill -INT "$servepid"
 wait "$servepid"
+
+echo "== fleet smoke (aggregate 4 instances + 1 dead, promote, poison-rollback)"
+# The control plane against a hostile fleet: four live `csspgo serve`
+# instances with different training seeds plus one dead URL must still
+# aggregate and promote (exit 0); a re-run with -inject poison-counts must
+# be rejected by the gate (exit 2) leaving the last-good artifact
+# byte-identical.
+fleeturls=""
+fleetpids=""
+for s in 1 2 3 4; do
+	bin/csspgo serve -addr 127.0.0.1:0 -name quickstart -seed "$s" examples/quickstart/app.ml > "$obsdir/fleet$s.log" 2>&1 &
+	fleetpids="$fleetpids $!"
+done
+for s in 1 2 3 4; do
+	u=""
+	i=0
+	while [ $i -lt 100 ]; do
+		u=$(sed -n 's|^serving profile .* on \(http://[^ ]*\).*$|\1|p' "$obsdir/fleet$s.log" | head -n 1)
+		[ -n "$u" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	if [ -z "$u" ]; then
+		echo "fleet instance $s never came up:" >&2
+		cat "$obsdir/fleet$s.log" >&2
+		kill $fleetpids 2>/dev/null || true
+		exit 1
+	fi
+	fleeturls="$fleeturls $u/profiles/quickstart"
+done
+# One-shot aggregate + first (ungated) promotion; the dead source must be
+# tolerated, not fatal.
+bin/csspgo fleet -o "$obsdir/fleet.prof" -report "$obsdir/fleet.json" $fleeturls http://127.0.0.1:1/profiles/dead
+bin/csspgo report -validate "$obsdir/fleet.json"
+# Gated re-promotion against the adopted last-good must pass.
+bin/csspgo fleet -o "$obsdir/fleet.prof" $fleeturls
+cp "$obsdir/fleet.prof" "$obsdir/fleet.prof.golden"
+# Injected poison must be caught by the gate: exit 2, artifact untouched.
+rc=0
+bin/csspgo fleet -o "$obsdir/fleet.prof" -inject poison-counts $fleeturls || rc=$?
+if [ "$rc" -eq 0 ]; then
+	echo "fleet gate promoted a poisoned candidate" >&2
+	kill $fleetpids 2>/dev/null || true
+	exit 1
+fi
+if [ "$rc" -ne 2 ]; then
+	echo "fleet poison run exited $rc, want 2 (gate rejection)" >&2
+	kill $fleetpids 2>/dev/null || true
+	exit 1
+fi
+cmp "$obsdir/fleet.prof" "$obsdir/fleet.prof.golden"
+kill -INT $fleetpids
+wait $fleetpids
 
 echo "check: OK"
