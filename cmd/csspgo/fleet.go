@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -46,6 +47,10 @@ func cmdFleet(args []string) error {
 	inject := fs.String("inject", "", "fault self-test: \"poison-counts\" poisons the candidate; the gate must reject it")
 	reportPath := fs.String("report", "", "write a machine-readable run manifest (JSON)")
 	seed := fs.Uint64("seed", 1, "retry-jitter seed")
+	tracePath := fs.String("trace", "", "write the aggregator's Chrome trace-event JSON (stitchable with serve-side traces)")
+	journalPath := fs.String("journal", "", "write the normalized event journal (JSONL, csspgo-events/v1)")
+	timeseriesPath := fs.String("timeseries", "", "write the normalized time-series store (JSON, csspgo-timeseries/v1)")
+	statusAddr := fs.String("status-addr", "", "serve the fleet status surface (/healthz /metrics /timeseries /events /dashboard) on this address")
 	_ = fs.Parse(args)
 
 	if fs.NArg() == 0 {
@@ -65,7 +70,13 @@ func cmdFleet(args []string) error {
 	}
 
 	obsrv := obs.NewTrace()
+	// Deterministic trace ID (derived from the jitter seed): two identical
+	// runs mint identical span IDs, so stitched traces and journals are
+	// byte-comparable across reruns.
+	obsrv.SetTraceID(obs.DeriveTraceID("fleet", strconv.FormatUint(*seed, 10)))
 	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	series := obs.NewTimeSeries(0)
 	cfg := fleet.Config{
 		Fetch: fleet.FetchConfig{
 			Timeout:    *timeout,
@@ -75,11 +86,13 @@ func cmdFleet(args []string) error {
 		Quota:     *quota,
 		Freshness: *freshness,
 		Trace:     obsrv.Root(),
+		Journal:   journal,
 	}
 	agg := fleet.NewAggregator(sources, cfg, reg)
 	prom := fleet.NewPromoter(fleet.PromoteConfig{
 		MinOverlap: *minOverlap,
 		Threshold:  *threshold / 100,
+		Journal:    journal,
 	}, reg)
 
 	// Adopt an existing last-good artifact byte-for-byte, so a rollback in
@@ -111,6 +124,40 @@ func cmdFleet(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The fleet's own observability surface, mirroring the serve daemon's.
+	status := (*fleet.StatusServer)(nil)
+	if *statusAddr != "" {
+		status = fleet.NewStatusServer(reg, journal, series)
+		l, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet status on http://%s\n", l.Addr())
+		for _, ep := range status.Endpoints() {
+			fmt.Printf("  http://%s%s\n", l.Addr(), ep)
+		}
+		statusDone := make(chan error, 1)
+		go func() { statusDone <- status.Serve(ctx, l) }()
+		defer func() {
+			stop() // release the status server if we exit early
+			<-statusDone
+		}()
+	}
+
+	// observe publishes one finished round to the time-series store and the
+	// status surface: stats first so obs.timeseries.* gauges land in the same
+	// sample, then one point per cataloged metric under a single snapshot
+	// epoch.
+	observe := func(round *fleet.Round, promoted, gated bool) {
+		series.PublishStats(reg)
+		series.Sample(round.Num, reg.Snapshot())
+		var gen uint64
+		if lg := prom.LastGood(); lg != nil {
+			gen = lg.Generation
+		}
+		status.ObserveRound(round.Num, round.Healthy, gen, fleet.OutcomeString(round, promoted, gated))
+	}
+
 	oneShot := *rounds == 1
 	var gateFailed bool
 	for n := 0; (*rounds == 0 || n < *rounds) && ctx.Err() == nil; n++ {
@@ -125,7 +172,11 @@ func cmdFleet(args []string) error {
 		}
 		round := agg.RoundOnce(ctx)
 		fmt.Printf("round %d: merged %d/%d sources\n%s", n+1, round.Healthy, len(sources), round.Summary())
+		// Promotion events emitted this round inherit the round span's trace
+		// context, so journal entries link back into the stitched trace.
+		prom.BeginRound(round.Num, round.Ctx)
 		if round.Merged == nil {
+			observe(round, false, false)
 			if oneShot {
 				return fmt.Errorf("fleet: no source could be merged")
 			}
@@ -139,6 +190,7 @@ func cmdFleet(args []string) error {
 			fmt.Println("injected poison-counts into the merged candidate")
 		}
 		art, res := prom.Promote(cand, nil)
+		observe(round, art != nil, art == nil)
 		if art == nil {
 			gateFailed = true
 			fmt.Printf("gate: %s\n", res)
@@ -158,6 +210,47 @@ func cmdFleet(args []string) error {
 			art.Generation, res.Overlap, art.Profile.TotalSamples(), *out)
 	}
 
+	// Journal hygiene before anything persists it: every event type this run
+	// emitted must be cataloged (the same check `csspgo lint` runs statically).
+	if diags := analysis.CheckEventNames(journal.TypesUsed()); len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "fleet: lint: %s\n", d)
+		}
+		return fmt.Errorf("fleet: %d event lint error(s)", len(diags))
+	}
+	if *journalPath != "" {
+		// Normalized: trace/span IDs stripped, logical clocks kept — two
+		// identical runs write byte-identical journals.
+		journal.Normalize()
+		if err := journal.WriteFile(*journalPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote journal %s (%d events)\n", *journalPath, journal.Len())
+	}
+	if *timeseriesPath != "" {
+		// Normalized: *_ns series zeroed (wall time is nondeterministic);
+		// counts, gauges, and logical clocks survive byte-identically.
+		series.Normalize()
+		if err := series.WriteFile(*timeseriesPath); err != nil {
+			return err
+		}
+		sn, pn, _ := series.Stats()
+		fmt.Printf("wrote timeseries %s (%d series, %d points)\n", *timeseriesPath, sn, pn)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obsrv.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
 	if *reportPath != "" {
 		rep := obs.NewReport("csspgo fleet")
 		rep.Config["sources"] = fs.NArg()

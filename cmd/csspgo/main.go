@@ -12,12 +12,15 @@
 //	csspgo inspect -bin app.bin | -profile app.prof [-folded | -top N | -coverage -bin app.bin] [-json] | -diff old.prof new.prof [-json]
 //	csspgo lint    [-profile p.prof] [-probes] [-verify-each] [-tv [-inject kind@pass [-inject-seed N]]] [-stale-matching [-min-match-quality Q]] [-json] src.ml...
 //	csspgo report  a.json [b.json] | csspgo report -diff [-threshold PCT] a.json b.json | csspgo report -validate r.json | csspgo report -validate-trace t.json -min-spans N
-//	csspgo serve   -addr :8572 [-workload hhvm -scale 1 | src.ml... [-n 60 -seed 1 -bound 1000]] [-name NAME] [-refresh 30s] [-period 797] [-workers N]
-//	csspgo fleet   -o fleet.prof [-rounds 1 -interval 30s] [-timeout 2s -retries 2] [-quota N -freshness 5m] [-min-overlap 0.5 -threshold 10] [-weights 1,2,...] [-inject poison-counts] [-report r.json] url...
+//	csspgo serve   -addr :8572 [-workload hhvm -scale 1 | src.ml... [-n 60 -seed 1 -bound 1000]] [-name NAME] [-refresh 30s] [-period 797] [-workers N] [-trace t.json]
+//	csspgo fleet   -o fleet.prof [-rounds 1 -interval 30s] [-timeout 2s -retries 2] [-quota N -freshness 5m] [-min-overlap 0.5 -threshold 10] [-weights 1,2,...] [-inject poison-counts] [-report r.json] [-trace t.json -journal j.jsonl -timeseries ts.json -status-addr :8573] url...
+//	csspgo trace   -stitch fleet.json [-min-cross-links 1] [-require-ancestor span=ancestor] t1.json t2.json... | csspgo trace [-require-ancestor span=ancestor] t.json...
 //
 // -trace writes Chrome trace-event JSON (load it in chrome://tracing or
 // Perfetto); -report writes a machine-readable run manifest that `csspgo
-// report` pretty-prints, validates, or diffs.
+// report` pretty-prints, validates, or diffs. `csspgo trace -stitch` merges
+// per-process trace exports into one causally-linked fleet trace, resolving
+// traceparent-propagated parent links across process boundaries.
 package main
 
 import (
@@ -65,6 +68,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "fleet":
 		err = cmdFleet(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -75,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report|serve|fleet> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: csspgo <build|run|profile|preinline|merge|inspect|lint|report|serve|fleet|trace> [flags]")
 	os.Exit(2)
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	"csspgo/internal/analysis"
@@ -37,6 +38,7 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "profile-generation worker pool size (0 = GOMAXPROCS)")
 	stream := fs.Bool("stream", true, "stream samples to unwinder workers during collection (false = materialize, then generate)")
 	chunkSize := fs.Int("chunk-size", 0, "streamed-chunk size in samples (0 = default)")
+	tracePath := fs.String("trace", "", "write the daemon's Chrome trace-event JSON on shutdown (stitchable with the fleet trace)")
 	_ = fs.Parse(args)
 
 	if err := sampling.ValidateWorkers(*workers); err != nil {
@@ -81,6 +83,17 @@ func cmdServe(args []string) error {
 	}
 
 	srv := introspect.NewServer(profName, reg)
+	// The daemon's own trace: deterministic trace ID derived from the
+	// profile name and training seed, so a fleet fixture stitches
+	// identically across reruns. The seed keeps IDs distinct across the
+	// instances of one fleet (same name, different seeds) — identical IDs
+	// would collide in the stitched trace. Handler and refresh spans adopt
+	// fleet-propagated traceparent contexts as remote parents, which is
+	// what makes the exports stitchable.
+	obsrv := obs.NewTrace()
+	obsrv.SetTraceID(obs.DeriveTraceID("serve", profName, strconv.FormatInt(*seed, 10)))
+	srv.SetTrace(obsrv.Root())
+	srv.SetTimeSeries(obs.NewTimeSeries(0))
 
 	// Collect the first generation synchronously so the daemon never serves
 	// an empty profile.
@@ -123,5 +136,20 @@ func cmdServe(args []string) error {
 		fmt.Printf("refreshing every %s\n", *refresh)
 		go srv.RefreshLoop(ctx, *refresh, refresher)
 	}
-	return srv.Serve(ctx, l)
+	serveErr := srv.Serve(ctx, l)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obsrv.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
+	return serveErr
 }

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+
+	"csspgo/internal/obs"
+)
+
+// Event-catalog lint, mirroring the metric lint: every journaled event type
+// must be declared in internal/obs's static catalog and follow the
+// snake-case naming convention. Ad-hoc event types would make journals
+// unvalidatable (ValidateJournal pins the catalog), so `csspgo lint` and
+// the fleet CLI's self-lint flag them before they ship.
+
+// CheckEventNames lints an event-type list: duplicates, names violating the
+// snake-case convention, and names missing from the static catalog are
+// errors.
+func CheckEventNames(names []string) []Diagnostic {
+	known := map[string]bool{}
+	for _, t := range obs.EventTypes() {
+		known[string(t)] = true
+	}
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "event-duplicate", Block: -1,
+				Msg: fmt.Sprintf("event type %q declared more than once", name),
+			})
+			continue
+		}
+		seen[name] = true
+		if !obs.ValidEventName(name) {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "event-name", Block: -1,
+				Msg: fmt.Sprintf("event type %q violates the naming convention (lowercase snake case, e.g. \"breaker_open\")", name),
+			})
+		}
+		if !known[name] {
+			diags = append(diags, Diagnostic{
+				Sev: SevError, Check: "event-uncataloged", Block: -1,
+				Msg: fmt.Sprintf("event type %q is not declared in the static event catalog", name),
+			})
+		}
+	}
+	return diags
+}
+
+// CheckEventCatalog lints the static catalog itself (run by `csspgo lint`
+// and the analysis test suite, so a duplicate constant never ships).
+func CheckEventCatalog() []Diagnostic {
+	names := make([]string, 0, len(obs.EventTypes()))
+	for _, t := range obs.EventTypes() {
+		names = append(names, string(t))
+	}
+	return CheckEventNames(names)
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// The shipped event catalog must be duplicate-free and convention-clean —
+// the same check `csspgo lint` runs.
+func TestEventCatalogClean(t *testing.T) {
+	if diags := CheckEventCatalog(); len(diags) != 0 {
+		t.Fatalf("event-catalog lint found %d diagnostic(s): %v", len(diags), diags)
+	}
+}
+
+func TestCheckEventNames(t *testing.T) {
+	diags := CheckEventNames([]string{"promotion", "promotion", "BadName", "made_up_event"})
+	var dup, bad, uncat int
+	for _, d := range diags {
+		switch d.Check {
+		case "event-duplicate":
+			dup++
+		case "event-name":
+			bad++
+		case "event-uncataloged":
+			uncat++
+		}
+		if d.Sev != SevError {
+			t.Errorf("diagnostic %v not an error", d)
+		}
+	}
+	// "BadName" is both malformed and uncataloged; "made_up_event" is
+	// well-formed but uncataloged.
+	if dup != 1 || bad != 1 || uncat != 2 {
+		t.Fatalf("got %d duplicate / %d name / %d uncataloged diagnostics, want 1/1/2: %v", dup, bad, uncat, diags)
+	}
+}

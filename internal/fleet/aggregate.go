@@ -24,6 +24,11 @@ type Source struct {
 	lastGen uint64    // highest X-Profile-Generation observed
 	advance time.Time // when lastGen last advanced
 	seen    bool      // any generation observed yet
+	// pending buffers this source's journal events for the current round.
+	// Only the source's own poll goroutine appends (one per round, rounds
+	// sequential), and RoundOnce drains after the round barrier in fleet
+	// order — so the journal is deterministic even though polls race.
+	pending []obs.Event
 }
 
 // Breaker exposes the source's circuit breaker (nil before the source is
@@ -46,8 +51,14 @@ type Config struct {
 	// Now is the clock used for freshness accounting (nil = time.Now).
 	Now func() time.Time
 	// Trace, when set, records fleet.round / fleet.fetch / fleet.merge
-	// spans under it (nil-safe like every span in the pipeline).
+	// spans under it (nil-safe like every span in the pipeline). Each
+	// source's poll gets its own fleet.poll span, whose context rides the
+	// fetch as a traceparent header so instance-side spans link back here.
 	Trace *obs.Span
+	// Journal, when set, receives the round's structured events (breaker
+	// transitions, policy exclusions), drained in fleet order after each
+	// round so the journal is deterministic.
+	Journal *obs.Journal
 }
 
 // SourceState classifies one source's outcome in a round.
@@ -83,6 +94,12 @@ type Round struct {
 	Merged   *profdata.Profile
 	Outcomes []SourceOutcome
 	Healthy  int // sources in StateMerged
+	// Num is the aggregator's 1-based round number — the logical clock the
+	// journal and time-series store stamp into their records.
+	Num uint64
+	// Ctx is the fleet.round span's context (zero when untraced); the
+	// promoter attributes its gate events to it.
+	Ctx obs.SpanContext
 }
 
 // Summary renders one line per source, in fleet order.
@@ -114,6 +131,7 @@ type Aggregator struct {
 	fetcher *Fetcher
 	reg     *obs.Registry
 	now     func() time.Time
+	round   uint64 // rounds completed + 1 during RoundOnce (1-based)
 }
 
 // NewAggregator adopts the sources (installing a breaker on each) and
@@ -131,6 +149,16 @@ func NewAggregator(sources []*Source, cfg Config, reg *obs.Registry) *Aggregator
 		if s.Weight == 0 {
 			s.Weight = 1
 		}
+		// Journal every breaker transition. The hook fires on the source's
+		// own poll goroutine, so buffering into pending is race-free.
+		src := s
+		s.breaker.SetTransitionHook(func(from, to BreakerState) {
+			src.pending = append(src.pending, obs.Event{
+				Type:   breakerEventType(to),
+				Source: src.Name,
+				Detail: fmt.Sprintf("%s -> %s", from, to),
+			})
+		})
 	}
 	return &Aggregator{
 		cfg:     cfg,
@@ -149,7 +177,8 @@ func (a *Aggregator) Sources() []*Source { return a.sources }
 // weight policy, and merges the survivors in fleet order.
 func (a *Aggregator) RoundOnce(ctx context.Context) *Round {
 	start := a.now()
-	rsp := a.cfg.Trace.Span("fleet.round")
+	a.round++
+	rsp := a.cfg.Trace.Span("fleet.round", obs.A("round", a.round))
 	defer rsp.End()
 
 	type slot struct {
@@ -164,13 +193,14 @@ func (a *Aggregator) RoundOnce(ctx context.Context) *Round {
 		wg.Add(1)
 		go func(i int, s *Source) {
 			defer wg.Done()
-			slots[i].outcome, slots[i].prof = a.pollSource(ctx, s)
+			slots[i].outcome, slots[i].prof = a.pollSource(ctx, s, fsp)
 		}(i, s)
 	}
 	wg.Wait()
 	fsp.End()
+	a.drainEvents(rsp.Context())
 
-	round := &Round{}
+	round := &Round{Num: a.round, Ctx: rsp.Context()}
 	msp := rsp.Span("fleet.merge")
 	var shards []*profdata.Profile
 	var kind profdata.Kind
@@ -198,20 +228,67 @@ func (a *Aggregator) RoundOnce(ctx context.Context) *Round {
 	if len(shards) > 0 {
 		round.Merged = profdata.MergeShards(shards)
 		round.Merged.CS = cs
-		a.reg.Counter(obs.MFleetMergeSources).Add(int64(len(shards)))
-		a.reg.Counter(obs.MFleetMergeSamples).Add(int64(round.Merged.TotalSamples()))
+		// The merge family is one epoch: a /metrics scrape must never see
+		// sources updated but samples not.
+		a.reg.Grouped(func() {
+			a.reg.Counter(obs.MFleetMergeSources).Add(int64(len(shards)))
+			a.reg.Counter(obs.MFleetMergeSamples).Add(int64(round.Merged.TotalSamples()))
+		})
 	}
 	msp.End()
-	a.reg.Counter(obs.MFleetRounds).Add(1)
-	a.reg.Histogram(obs.MFleetRoundNS).Observe(a.now().Sub(start).Nanoseconds())
+	a.reg.Grouped(func() {
+		a.reg.Counter(obs.MFleetRounds).Add(1)
+		a.reg.Histogram(obs.MFleetRoundNS).Observe(a.now().Sub(start).Nanoseconds())
+	})
 	return round
+}
+
+// breakerEventType maps a breaker's post-transition state to its event.
+func breakerEventType(to BreakerState) obs.EventType {
+	switch to {
+	case BreakerOpen:
+		return obs.EvBreakerOpen
+	case BreakerHalfOpen:
+		return obs.EvBreakerHalfOpen
+	default:
+		return obs.EvBreakerClose
+	}
+}
+
+// drainEvents moves every source's buffered events into the journal, in
+// fleet order, stamped with the round number and the round span's context.
+// Buffers are cleared even without a journal so they cannot grow unbounded.
+func (a *Aggregator) drainEvents(rctx obs.SpanContext) {
+	for _, s := range a.sources {
+		for _, e := range s.pending {
+			e.Round = a.round
+			e.TraceID = rctx.TraceID
+			e.SpanID = rctx.SpanID
+			a.emit(e)
+		}
+		s.pending = s.pending[:0]
+	}
+}
+
+// emit journals one event and counts it (no-op without a journal).
+func (a *Aggregator) emit(e obs.Event) {
+	if a.cfg.Journal == nil {
+		return
+	}
+	a.cfg.Journal.Emit(e)
+	a.reg.Grouped(func() {
+		a.reg.Counter(obs.MFleetEventsEmitted).Add(1)
+		if e.Type == obs.EvOverlapDegrading {
+			a.reg.Counter(obs.MFleetEventsOverlapDegrading).Add(1)
+		}
+	})
 }
 
 // pollSource runs one source through the round's admission pipeline:
 // breaker, fetch, lenient decode, epoch/freshness policy, quota clamp,
 // weighting. It returns the outcome and, for StateMerged, the scaled
 // profile ready to merge.
-func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, *profdata.Profile) {
+func (a *Aggregator) pollSource(ctx context.Context, s *Source, parent *obs.Span) (SourceOutcome, *profdata.Profile) {
 	o := SourceOutcome{Source: s.Name}
 	before := s.breaker.Stats()
 	defer func() { a.publishBreakerDelta(before, s.breaker.Stats()) }()
@@ -222,12 +299,19 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, 
 		return o, nil
 	}
 
-	res, err := a.fetcher.Fetch(ctx, s.URL)
+	// The poll span's context rides the fetch as a traceparent header: the
+	// instance adopts it, so its handler/refresh spans stitch under this
+	// round's trace.
+	psp := parent.Span("fleet.poll", obs.A("source", s.Name))
+	defer psp.End()
+	res, err := a.fetcher.Fetch(ctx, s.URL, psp.Context().Traceparent())
 	o.Attempts = res.Attempts
-	a.reg.Counter(obs.MFleetFetchAttempts).Add(int64(res.Attempts))
-	if res.Attempts > 1 {
-		a.reg.Counter(obs.MFleetFetchRetries).Add(int64(res.Attempts - 1))
-	}
+	a.reg.Grouped(func() {
+		a.reg.Counter(obs.MFleetFetchAttempts).Add(int64(res.Attempts))
+		if res.Attempts > 1 {
+			a.reg.Counter(obs.MFleetFetchRetries).Add(int64(res.Attempts - 1))
+		}
+	})
 	if err != nil {
 		s.breaker.OnFailure()
 		a.reg.Counter(obs.MFleetFetchFailures).Add(1)
@@ -240,6 +324,11 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, 
 	o.Skipped = stats.SkippedRecords + stats.SkippedLines
 	if o.Skipped > 0 {
 		a.reg.Counter(obs.MFleetDecodeSkipped).Add(int64(o.Skipped))
+		s.pending = append(s.pending, obs.Event{
+			Type: obs.EvDecodeSkip, Source: s.Name,
+			Metrics: map[string]float64{"skipped_records": float64(o.Skipped)},
+			Detail:  "lenient decoder discarded records",
+		})
 	}
 	if err != nil {
 		// A payload even the lenient decoder rejects is a source fault, the
@@ -279,6 +368,11 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, 
 	s.breaker.OnSuccess()
 	if stale {
 		a.reg.Counter(obs.MFleetStaleDrops).Add(1)
+		s.pending = append(s.pending, obs.Event{
+			Type: obs.EvFreshnessExclusion, Source: s.Name,
+			Metrics: map[string]float64{"generation": float64(o.Generation)},
+			Detail:  fmt.Sprintf("generation stagnant beyond %s", a.cfg.Freshness),
+		})
 		o.State = StateStale
 		o.Err = fmt.Sprintf("generation %d stagnant beyond %s", o.Generation, a.cfg.Freshness)
 		return o, nil
@@ -288,6 +382,11 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, 
 	if a.cfg.Quota > 0 && total > a.cfg.Quota {
 		scaleProfile(prof, a.cfg.Quota, total)
 		a.reg.Counter(obs.MFleetQuotaClamps).Add(1)
+		s.pending = append(s.pending, obs.Event{
+			Type: obs.EvQuotaClamp, Source: s.Name,
+			Metrics: map[string]float64{"samples": float64(total), "quota": float64(a.cfg.Quota)},
+			Detail:  "contribution scaled down to quota",
+		})
 		o.Clamped = true
 		total = prof.TotalSamples()
 	}
@@ -301,18 +400,22 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source) (SourceOutcome, 
 }
 
 func (a *Aggregator) publishBreakerDelta(before, after BreakerStats) {
-	if d := after.Opens - before.Opens; d > 0 {
-		a.reg.Counter(obs.MFleetBreakerOpens).Add(d)
-	}
-	if d := after.HalfOpens - before.HalfOpens; d > 0 {
-		a.reg.Counter(obs.MFleetBreakerHalfOpens).Add(d)
-	}
-	if d := after.Closes - before.Closes; d > 0 {
-		a.reg.Counter(obs.MFleetBreakerCloses).Add(d)
-	}
-	if d := after.ShortCircuits - before.ShortCircuits; d > 0 {
-		a.reg.Counter(obs.MFleetBreakerShortCircuits).Add(d)
-	}
+	// One epoch: the breaker family's transition counters move together, so
+	// a concurrent scrape cannot see an open without its matching half-open.
+	a.reg.Grouped(func() {
+		if d := after.Opens - before.Opens; d > 0 {
+			a.reg.Counter(obs.MFleetBreakerOpens).Add(d)
+		}
+		if d := after.HalfOpens - before.HalfOpens; d > 0 {
+			a.reg.Counter(obs.MFleetBreakerHalfOpens).Add(d)
+		}
+		if d := after.Closes - before.Closes; d > 0 {
+			a.reg.Counter(obs.MFleetBreakerCloses).Add(d)
+		}
+		if d := after.ShortCircuits - before.ShortCircuits; d > 0 {
+			a.reg.Counter(obs.MFleetBreakerShortCircuits).Add(d)
+		}
+	})
 }
 
 // scaleProfile multiplies every count in p by num/den (quota clamps and

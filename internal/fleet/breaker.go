@@ -76,8 +76,9 @@ type BreakerStats struct {
 // (the aggregator serializes per-source state between rounds); the clock is
 // injected so tests and the deterministic harness control time.
 type Breaker struct {
-	cfg BreakerConfig
-	now func() time.Time
+	cfg  BreakerConfig
+	now  func() time.Time
+	hook func(from, to BreakerState)
 
 	state     BreakerState
 	failures  int
@@ -94,6 +95,18 @@ func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), now: now}
 }
 
+// SetTransitionHook installs a callback fired on every state transition
+// (including the lazy open -> half-open flip inside State). The hook runs
+// on the goroutine driving the breaker, with the transition already
+// applied; the aggregator uses it to journal breaker events.
+func (b *Breaker) SetTransitionHook(hook func(from, to BreakerState)) { b.hook = hook }
+
+func (b *Breaker) transitioned(from, to BreakerState) {
+	if b.hook != nil {
+		b.hook(from, to)
+	}
+}
+
 // State returns the current state, first applying any due open -> half-open
 // transition (cooldown expiry is observed lazily, on the next call).
 func (b *Breaker) State() BreakerState {
@@ -101,6 +114,7 @@ func (b *Breaker) State() BreakerState {
 		b.state = BreakerHalfOpen
 		b.successes = 0
 		b.stats.HalfOpens++
+		b.transitioned(BreakerOpen, BreakerHalfOpen)
 	}
 	return b.state
 }
@@ -125,6 +139,7 @@ func (b *Breaker) OnSuccess() {
 			b.failures = 0
 			b.successes = 0
 			b.stats.Closes++
+			b.transitioned(BreakerHalfOpen, BreakerClosed)
 		}
 	case BreakerClosed:
 		b.failures = 0
@@ -147,11 +162,13 @@ func (b *Breaker) OnFailure() {
 }
 
 func (b *Breaker) trip() {
+	from := b.state
 	b.state = BreakerOpen
 	b.openedAt = b.now()
 	b.failures = 0
 	b.successes = 0
 	b.stats.Opens++
+	b.transitioned(from, BreakerOpen)
 }
 
 // Stats returns the transition counters accumulated so far.

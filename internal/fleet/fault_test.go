@@ -24,7 +24,7 @@ func fetchVia(t *testing.T, in *Injector, retries int) (FetchResult, error) {
 		BackoffMax:  2 * time.Millisecond,
 		JitterSeed:  3,
 	})
-	return f.Fetch(context.Background(), srv.URL)
+	return f.Fetch(context.Background(), srv.URL, "")
 }
 
 func TestInjectorPassThrough(t *testing.T) {

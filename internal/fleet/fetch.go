@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"csspgo/internal/obs"
 )
 
 // FetchConfig tunes the per-source profile fetch. Zero values take the
@@ -121,8 +123,10 @@ func (f *Fetcher) backoffDelay(k int, rng *xorshift64) time.Duration {
 
 // Fetch GETs url with up to 1+Retries attempts, each under its own
 // deadline. Transport errors, non-200 statuses, and oversized bodies all
-// count as attempt failures; ctx cancellation aborts the retry loop.
-func (f *Fetcher) Fetch(ctx context.Context, url string) (FetchResult, error) {
+// count as attempt failures; ctx cancellation aborts the retry loop. A
+// non-empty traceparent is sent on every attempt, so the serving instance
+// can adopt the aggregator's trace context on its handler spans.
+func (f *Fetcher) Fetch(ctx context.Context, url, traceparent string) (FetchResult, error) {
 	rng := f.seedFor(url)
 	var res FetchResult
 	var lastErr error
@@ -137,7 +141,7 @@ func (f *Fetcher) Fetch(ctx context.Context, url string) (FetchResult, error) {
 			}
 		}
 		res.Attempts++
-		body, gen, err := f.fetchOnce(ctx, url)
+		body, gen, err := f.fetchOnce(ctx, url, traceparent)
 		if err == nil {
 			res.Body, res.Generation = body, gen
 			return res, nil
@@ -150,12 +154,15 @@ func (f *Fetcher) Fetch(ctx context.Context, url string) (FetchResult, error) {
 	return res, fmt.Errorf("fleet: fetch %s: %d attempt(s) failed: %w", url, res.Attempts, lastErr)
 }
 
-func (f *Fetcher) fetchOnce(ctx context.Context, url string) ([]byte, uint64, error) {
+func (f *Fetcher) fetchOnce(ctx context.Context, url, traceparent string) ([]byte, uint64, error) {
 	actx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {

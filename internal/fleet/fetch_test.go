@@ -27,7 +27,7 @@ func TestFetchSuccessParsesGeneration(t *testing.T) {
 	}))
 	defer srv.Close()
 	f := NewFetcher(testFetchConfig())
-	res, err := f.Fetch(context.Background(), srv.URL)
+	res, err := f.Fetch(context.Background(), srv.URL, "")
 	if err != nil {
 		t.Fatalf("fetch: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestFetchRetriesBounded(t *testing.T) {
 	}))
 	defer srv.Close()
 	f := NewFetcher(testFetchConfig())
-	res, err := f.Fetch(context.Background(), srv.URL)
+	res, err := f.Fetch(context.Background(), srv.URL, "")
 	if err != nil {
 		t.Fatalf("fetch after transient failures: %v", err)
 	}
@@ -58,7 +58,7 @@ func TestFetchRetriesBounded(t *testing.T) {
 	}
 
 	calls.Store(-1000) // always failing from here on
-	res, err = f.Fetch(context.Background(), srv.URL)
+	res, err = f.Fetch(context.Background(), srv.URL, "")
 	if err == nil {
 		t.Fatalf("fetch succeeded against always-failing server")
 	}
@@ -81,7 +81,7 @@ func TestFetchDeadlineBoundsHang(t *testing.T) {
 	cfg.Retries = 1
 	f := NewFetcher(cfg)
 	start := time.Now()
-	if _, err := f.Fetch(context.Background(), srv.URL); err == nil {
+	if _, err := f.Fetch(context.Background(), srv.URL, ""); err == nil {
 		t.Fatalf("fetch from hanging server succeeded")
 	}
 	if el := time.Since(start); el > 2*time.Second {
@@ -99,7 +99,7 @@ func TestFetchBodyCap(t *testing.T) {
 	cfg.MaxBody = 1024
 	cfg.Retries = 1
 	f := NewFetcher(cfg)
-	if _, err := f.Fetch(context.Background(), srv.URL); err == nil || !strings.Contains(err.Error(), "cap") {
+	if _, err := f.Fetch(context.Background(), srv.URL, ""); err == nil || !strings.Contains(err.Error(), "cap") {
 		t.Fatalf("oversized body not rejected: %v", err)
 	}
 }
@@ -118,7 +118,7 @@ func TestFetchContextCancel(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := f.Fetch(ctx, srv.URL)
+	_, err := f.Fetch(ctx, srv.URL, "")
 	if err == nil {
 		t.Fatalf("fetch succeeded against 503 server")
 	}

@@ -68,6 +68,11 @@ type PromoteConfig struct {
 	Quality func(cand *profdata.Profile) (map[string]float64, error)
 	// Now is the promotion clock (nil = time.Now).
 	Now func() time.Time
+	// Journal, when set, receives promotion / rollback / overlap_degrading
+	// events carrying the gate's triggering metric values.
+	Journal *obs.Journal
+	// TrendAlpha tunes the EWMA overlap-trend detector (0 = default).
+	TrendAlpha float64
 }
 
 // GateResult says what the gate decided about one candidate.
@@ -92,12 +97,18 @@ func (g GateResult) String() string {
 // always servable and never torn, because it is only ever replaced whole,
 // never edited).
 type Promoter struct {
-	cfg PromoteConfig
-	reg *obs.Registry
-	now func() time.Time
+	cfg   PromoteConfig
+	reg   *obs.Registry
+	now   func() time.Time
+	trend *OverlapTrend
 
 	cur atomic.Pointer[Artifact]
 	gen atomic.Uint64
+
+	// Round context for journaled events, set by BeginRound. Promote is
+	// called from the round loop (sequential), so no locking is needed.
+	round uint64
+	rctx  obs.SpanContext
 }
 
 // NewPromoter returns an empty promoter publishing fleet.gate.* metrics
@@ -115,7 +126,32 @@ func NewPromoter(cfg PromoteConfig, reg *obs.Registry) *Promoter {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Promoter{cfg: cfg, reg: reg, now: cfg.Now}
+	return &Promoter{cfg: cfg, reg: reg, now: cfg.Now, trend: NewOverlapTrend(cfg.TrendAlpha)}
+}
+
+// BeginRound tells the promoter which aggregation round (and round span)
+// subsequent gate events belong to.
+func (p *Promoter) BeginRound(round uint64, ctx obs.SpanContext) {
+	p.round = round
+	p.rctx = ctx
+}
+
+// emit journals one gate event stamped with the current round context
+// (no-op without a journal).
+func (p *Promoter) emit(e obs.Event) {
+	if p.cfg.Journal == nil {
+		return
+	}
+	e.Round = p.round
+	e.TraceID = p.rctx.TraceID
+	e.SpanID = p.rctx.SpanID
+	p.cfg.Journal.Emit(e)
+	p.reg.Grouped(func() {
+		p.reg.Counter(obs.MFleetEventsEmitted).Add(1)
+		if e.Type == obs.EvOverlapDegrading {
+			p.reg.Counter(obs.MFleetEventsOverlapDegrading).Add(1)
+		}
+	})
 }
 
 // LastGood returns the current artifact (nil before the first promotion).
@@ -167,12 +203,32 @@ func (p *Promoter) Promote(cand *profdata.Profile, manifest *obs.Report) (*Artif
 	res := GateResult{OK: true, Overlap: 1}
 	if last != nil {
 		res = p.gate(last, cand, manifest)
+		// Watch the gate margin erode *before* the gate fires: two
+		// consecutive EWMA declines journal an overlap_degrading warning, so
+		// the first rejection of a slowly-poisoned fleet is never a surprise.
+		margin := res.Overlap - p.cfg.MinOverlap
+		if p.trend.Observe(margin) {
+			p.emit(obs.Event{
+				Type: obs.EvOverlapDegrading,
+				Metrics: map[string]float64{
+					"overlap": res.Overlap, "margin": margin, "ewma_margin": p.trend.EWMA(),
+				},
+				Detail: "promotion-gate margin eroding across rounds",
+			})
+		}
 	}
 	manifest.Quality["fleet.gate.context_overlap"] = res.Overlap
 	if !res.OK {
 		res.RolledBack = true
-		p.reg.Counter(obs.MFleetGateFailures).Add(1)
-		p.reg.Counter(obs.MFleetRollbacks).Add(1)
+		p.reg.Grouped(func() {
+			p.reg.Counter(obs.MFleetGateFailures).Add(1)
+			p.reg.Counter(obs.MFleetRollbacks).Add(1)
+		})
+		p.emit(obs.Event{
+			Type:    obs.EvRollback,
+			Metrics: map[string]float64{"overlap": res.Overlap, "generation": float64(p.gen.Load())},
+			Detail:  strings.Join(res.Reasons, "; "),
+		})
 		return nil, res
 	}
 	art := &Artifact{
@@ -184,6 +240,11 @@ func (p *Promoter) Promote(cand *profdata.Profile, manifest *obs.Report) (*Artif
 	}
 	p.cur.Store(art)
 	p.reg.Counter(obs.MFleetPromotions).Add(1)
+	p.emit(obs.Event{
+		Type:    obs.EvPromotion,
+		Metrics: map[string]float64{"overlap": res.Overlap, "generation": float64(art.Generation)},
+		Detail:  "candidate promoted to last-good",
+	})
 	return art, res
 }
 

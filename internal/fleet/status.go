@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"csspgo/internal/introspect"
+	"csspgo/internal/obs"
+)
+
+// StatusServer is the aggregator's own observability surface — the fleet
+// counterpart of the `csspgo serve` daemon's HTTP endpoints. It exposes
+// liveness (/healthz), the registry (/metrics), the bounded time-series
+// store (/timeseries), the event journal (/events), and a self-contained
+// HTML dashboard (/dashboard). All state it reads is either snapshotted
+// under one epoch (metrics) or copied under its own lock, so a scrape
+// mid-round never observes a torn view.
+type StatusServer struct {
+	reg     *obs.Registry
+	journal *obs.Journal
+	series  *obs.TimeSeries
+
+	mu          sync.Mutex
+	round       uint64
+	healthy     int
+	generation  uint64
+	lastOutcome string // "promoted", "rolled-back", "no-candidate", ...
+}
+
+// NewStatusServer wires the aggregator's registry, journal, and time-series
+// store into a status surface (journal and series may be nil — their
+// endpoints then serve empty documents).
+func NewStatusServer(reg *obs.Registry, journal *obs.Journal, series *obs.TimeSeries) *StatusServer {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &StatusServer{reg: reg, journal: journal, series: series, lastOutcome: "none"}
+}
+
+// ObserveRound records one round's outcome for /healthz.
+func (s *StatusServer) ObserveRound(round uint64, healthy int, generation uint64, outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.round = round
+	s.healthy = healthy
+	s.generation = generation
+	s.lastOutcome = outcome
+}
+
+// Endpoints lists the status surface (as concrete probe paths — the
+// endpoint lint and the smoke tests iterate over these).
+func (s *StatusServer) Endpoints() []string {
+	return []string{"/healthz", "/metrics", "/timeseries", "/events", "/dashboard"}
+}
+
+// Handler returns the status HTTP handler. Every handler sets Content-Type
+// before writing (the analysis endpoint lint enforces this).
+func (s *StatusServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		st := map[string]any{
+			"status":     "ok",
+			"round":      s.round,
+			"healthy":    s.healthy,
+			"generation": s.generation,
+			"last_round": s.lastOutcome,
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(introspect.RenderPrometheus(s.reg.Snapshot()))
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.series.EncodeJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.journal.EncodeJSONL()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(data)
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(obs.RenderDashboard("csspgo fleet", s.series, s.reg.Snapshot(), s.journal.Events()))
+	})
+	return mux
+}
+
+// Serve runs the status server on l until ctx is done, then shuts down
+// gracefully. I/O phases are bounded like the serve daemon's server, so a
+// slow-loris scraper cannot pin connections open.
+func (s *StatusServer) Serve(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}
+
+// OutcomeString summarizes one round + gate result for /healthz (the fleet
+// CLI feeds it to ObserveRound).
+func OutcomeString(round *Round, promoted bool, gated bool) string {
+	switch {
+	case round.Merged == nil:
+		return "no-candidate"
+	case promoted:
+		return "promoted"
+	case gated:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("merged-%d", round.Healthy)
+	}
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csspgo/internal/analysis"
+	"csspgo/internal/obs"
+)
+
+// The fleet status surface passes the same HTTP-endpoint lint the serve
+// daemon's surface does: every endpoint answers 200 with Content-Type set
+// before the body.
+func TestStatusServerEndpointLint(t *testing.T) {
+	s := NewStatusServer(obs.NewRegistry(), obs.NewJournal(), obs.NewTimeSeries(4))
+	for _, d := range analysis.CheckHTTPEndpoints(s.Handler(), s.Endpoints()) {
+		t.Errorf("endpoint lint: %s", d)
+	}
+}
+
+// /healthz reflects the last ObserveRound: round number, healthy count,
+// last-good generation, and the round outcome.
+func TestStatusServerHealthz(t *testing.T) {
+	jr := obs.NewJournal()
+	jr.Emit(obs.Event{Type: obs.EvPromotion, Round: 3})
+	s := NewStatusServer(obs.NewRegistry(), jr, obs.NewTimeSeries(4))
+	s.ObserveRound(3, 2, 7, "promoted")
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s -> %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	hz := get("/healthz")
+	for _, want := range []string{`"status":"ok"`, `"round":3`, `"healthy":2`,
+		`"generation":7`, `"last_round":"promoted"`} {
+		if !strings.Contains(hz, want) {
+			t.Fatalf("healthz lacks %s: %s", want, hz)
+		}
+	}
+	if ev := get("/events"); !strings.Contains(ev, `"type":"promotion"`) {
+		t.Fatalf("/events lacks the journaled event: %s", ev)
+	}
+	if ts := get("/timeseries"); !strings.Contains(ts, obs.TimeSeriesSchema) {
+		t.Fatalf("/timeseries lacks schema: %s", ts)
+	}
+	if db := get("/dashboard"); !strings.Contains(db, "<html") && !strings.Contains(db, "<!doctype") {
+		t.Fatalf("/dashboard not HTML: %.80s", db)
+	}
+}
+
+// OutcomeString covers each round shape the CLI reports.
+func TestOutcomeString(t *testing.T) {
+	merged := &Round{Merged: testProfile("f"), Healthy: 2}
+	cases := []struct {
+		round           *Round
+		promoted, gated bool
+		want            string
+	}{
+		{&Round{}, false, false, "no-candidate"},
+		{merged, true, false, "promoted"},
+		{merged, false, true, "rolled-back"},
+		{merged, false, false, "merged-2"},
+	}
+	for _, c := range cases {
+		if got := OutcomeString(c.round, c.promoted, c.gated); got != c.want {
+			t.Fatalf("OutcomeString(%v, %v) = %q, want %q", c.promoted, c.gated, got, c.want)
+		}
+	}
+}

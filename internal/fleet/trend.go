@@ -1,0 +1,58 @@
+package fleet
+
+// OverlapTrend watches the promotion gate's margin (context overlap minus
+// the configured floor) across rounds and flags erosion before the gate
+// actually rejects: an EWMA smooths the series, and two consecutive
+// observations below the smoothed level mean the margin is degrading, not
+// merely noisy. Driven once per Promote call, so its state advances on the
+// same deterministic logical clock as everything else in the control plane.
+type OverlapTrend struct {
+	alpha    float64 // EWMA smoothing factor in (0, 1]
+	ewma     float64
+	seeded   bool
+	declines int // consecutive observations below the EWMA
+}
+
+// DefaultTrendAlpha weights recent margins heavily: the detector should
+// react within a few rounds, not after the gate already fired.
+const DefaultTrendAlpha = 0.5
+
+// trendEps absorbs float noise: a decline smaller than this is flat.
+const trendEps = 1e-9
+
+// NewOverlapTrend returns a detector (alpha <= 0 or > 1 takes the default).
+func NewOverlapTrend(alpha float64) *OverlapTrend {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultTrendAlpha
+	}
+	return &OverlapTrend{alpha: alpha}
+}
+
+// Observe folds one round's gate margin in and reports whether the margin
+// is degrading: at least two consecutive observations fell below the
+// running EWMA. The first observation seeds the EWMA and never degrades.
+func (t *OverlapTrend) Observe(margin float64) bool {
+	if t == nil {
+		return false
+	}
+	if !t.seeded {
+		t.ewma = margin
+		t.seeded = true
+		return false
+	}
+	if margin < t.ewma-trendEps {
+		t.declines++
+	} else {
+		t.declines = 0
+	}
+	t.ewma = t.alpha*margin + (1-t.alpha)*t.ewma
+	return t.declines >= 2
+}
+
+// EWMA returns the current smoothed margin (0 before the first Observe).
+func (t *OverlapTrend) EWMA() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.ewma
+}

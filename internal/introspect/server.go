@@ -2,10 +2,12 @@ package introspect
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +51,19 @@ type Server struct {
 
 	cur atomic.Pointer[Served]
 	gen atomic.Uint64
+
+	// Observability extras, all optional. span parents the daemon's
+	// handler/refresh spans; series samples the registry once per refresh;
+	// fleetCtx remembers the last traceparent a fleet fetch carried, so
+	// refresh spans attribute to the aggregator round that consumed them.
+	span   *obs.Span
+	series *obs.TimeSeries
+
+	ctxMu    sync.Mutex
+	fleetCtx obs.SpanContext
+
+	rounds      atomic.Uint64 // refresh attempts (uptime in rounds)
+	lastRefresh atomic.Pointer[string]
 }
 
 // NewServer returns a daemon serving under the given profile name,
@@ -68,11 +83,41 @@ func NewServer(name string, reg *obs.Registry) *Server {
 // Name returns the served profile name.
 func (s *Server) Name() string { return s.name }
 
+// SetTrace parents the daemon's handler and refresh spans under parent
+// (typically the trace root). Without it the daemon records no spans.
+func (s *Server) SetTrace(parent *obs.Span) { s.span = parent }
+
+// SetTimeSeries installs a bounded time-series store sampled once per
+// profile swap (nil disables sampling).
+func (s *Server) SetTimeSeries(ts *obs.TimeSeries) { s.series = ts }
+
+// TimeSeries returns the installed store (nil when sampling is off).
+func (s *Server) TimeSeries() *obs.TimeSeries { return s.series }
+
+// fleetContext returns the last trace context a fleet fetch propagated
+// (zero before any traced fetch arrived).
+func (s *Server) fleetContext() obs.SpanContext {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	return s.fleetCtx
+}
+
+func (s *Server) setFleetContext(sc obs.SpanContext) {
+	s.ctxMu.Lock()
+	s.fleetCtx = sc
+	s.ctxMu.Unlock()
+}
+
 // SetProfile renders and atomically publishes a new profile generation.
 // The swap itself is a pointer store: in-flight requests keep the
 // generation they started with.
 func (s *Server) SetProfile(p *profdata.Profile, rep *obs.Report) error {
 	start := time.Now()
+	// The refresh span adopts the last fleet fetch's trace context: the
+	// refresh causally belongs to the aggregation round consuming its
+	// output, so the stitched fleet trace shows which round drove it.
+	sp := s.span.SpanRemote("serve.refresh", s.fleetContext())
+	defer sp.End()
 	served := &Served{Name: s.name, SwappedAt: start}
 	served.Profile = []byte(profdata.EncodeToString(p))
 	served.Folded = EncodeFoldedText(Folded(p))
@@ -84,8 +129,15 @@ func (s *Server) SetProfile(p *profdata.Profile, rep *obs.Report) error {
 		served.Report = data
 	}
 	served.Generation = s.gen.Add(1)
+	sp.SetAttr("generation", served.Generation)
 	s.cur.Store(served)
 	s.swapLatency.Observe(time.Since(start).Nanoseconds())
+	if s.series != nil {
+		// Sample once per swap on the generation clock — logical, never
+		// wall time, so serialized series stay reproducible.
+		s.series.PublishStats(s.reg)
+		s.series.Sample(served.Generation, s.reg.Snapshot())
+	}
 	return nil
 }
 
@@ -133,15 +185,29 @@ func (s *Server) RefreshLoop(ctx context.Context, interval time.Duration, refres
 		if err == nil {
 			err = s.SetProfile(prof, rep)
 		}
+		s.rounds.Add(1)
 		if err != nil {
 			failures++
 			s.refreshFailures.Add(1)
+			s.setLastRefresh("failed: " + err.Error())
 		} else {
 			failures = 0
 			s.refreshes.Add(1)
+			s.setLastRefresh("ok")
 		}
 		t.Reset(nextRefreshDelay(interval, failures))
 	}
+}
+
+func (s *Server) setLastRefresh(outcome string) { s.lastRefresh.Store(&outcome) }
+
+// lastRefreshOutcome returns the most recent refresh result ("none" before
+// the first refresh attempt).
+func (s *Server) lastRefreshOutcome() string {
+	if p := s.lastRefresh.Load(); p != nil {
+		return *p
+	}
+	return "none"
 }
 
 // Endpoints lists the daemon's HTTP surface (as concrete probe paths — the
@@ -150,6 +216,8 @@ func (s *Server) Endpoints() []string {
 	return []string{
 		"/healthz",
 		"/metrics",
+		"/timeseries",
+		"/dashboard",
 		"/report",
 		"/flamegraph",
 		"/profiles/" + s.name,
@@ -161,12 +229,34 @@ func (s *Server) Endpoints() []string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		// Not a bare 200: generation, uptime-in-rounds, and the last refresh
+		// outcome let the fleet aggregator (and the dashboard) distinguish
+		// "alive" from "alive but stagnant".
+		st := map[string]any{
+			"status":        "ok",
+			"generation":    s.Generation(),
+			"uptime_rounds": s.rounds.Load(),
+			"last_refresh":  s.lastRefreshOutcome(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(RenderPrometheus(s.reg.Snapshot()))
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.series.EncodeJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(obs.RenderDashboard("csspgo serve: "+s.name, s.series, s.reg.Snapshot(), nil))
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		cur := s.Current()
@@ -184,6 +274,17 @@ func (s *Server) Handler() http.Handler {
 		s.serveFolded(w, r, strings.TrimPrefix(r.URL.Path, "/flamegraph/"))
 	})
 	mux.HandleFunc("/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		// Ingest the fleet aggregator's trace context: the handler span
+		// adopts it (so it stitches under the aggregator's fleet.poll span),
+		// and it is remembered so the next refresh attributes to this round.
+		// Untraced requests (curl, the endpoint lint) mint no span — every
+		// serve.handle_profile span therefore has a fleet ancestor, which is
+		// what the stitch validator's -require-ancestor check pins.
+		if remote, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			sp := s.span.SpanRemote("serve.handle_profile", remote, obs.A("path", r.URL.Path))
+			defer sp.End()
+			s.setFleetContext(remote)
+		}
 		name := strings.TrimPrefix(r.URL.Path, "/profiles/")
 		cur := s.Current()
 		if cur == nil || (name != cur.Name && name != cur.Name+".prof") {

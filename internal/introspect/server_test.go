@@ -37,8 +37,12 @@ func TestServerEndpoints(t *testing.T) {
 	h := s.Handler()
 
 	res, body := get(t, h, "/healthz")
-	if res.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+	if res.StatusCode != 200 || !strings.Contains(string(body), `"status":"ok"`) {
 		t.Fatalf("/healthz: %d %q", res.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"generation":1`) ||
+		!strings.Contains(string(body), `"last_refresh":"none"`) {
+		t.Fatalf("/healthz must report generation and last refresh: %q", body)
 	}
 
 	res, body = get(t, h, "/metrics")

@@ -123,6 +123,17 @@ const (
 	MFleetGateFailures         = "fleet.gate.failures"
 	MFleetRollbacks            = "fleet.gate.rollbacks"
 	MFleetRoundNS              = "fleet.round_ns"
+
+	// internal/fleet — the structured event journal.
+	MFleetEventsEmitted          = "fleet.events.emitted"
+	MFleetEventsOverlapDegrading = "fleet.events.overlap_degrading"
+
+	// internal/obs — the bounded time-series store's own footprint. The
+	// obs.* prefix is reserved like serve.* and fleet.*: the observability
+	// layer's self-metrics are part of its public surface.
+	MObsTimeseriesSeries  = "obs.timeseries.series"
+	MObsTimeseriesPoints  = "obs.timeseries.points"
+	MObsTimeseriesEvicted = "obs.timeseries.evicted_points"
 )
 
 // CatalogNames lists every statically declared metric name (dynamic names,
@@ -162,15 +173,17 @@ func CatalogNames() []string {
 		MFleetRounds, MFleetMergeSources, MFleetMergeSamples,
 		MFleetPromotions, MFleetGateFailures, MFleetRollbacks,
 		MFleetRoundNS,
+		MFleetEventsEmitted, MFleetEventsOverlapDegrading,
+		MObsTimeseriesSeries, MObsTimeseriesPoints, MObsTimeseriesEvicted,
 	}
 }
 
 // ReservedMetricPrefixes lists namespaces whose every metric must be
-// declared in the static catalog. The serving daemon's and the fleet
-// control plane's metrics are part of their public contracts (`/metrics`,
-// run manifests), so ad-hoc serve.* / fleet.* names are lint errors rather
-// than dynamic extensions.
-func ReservedMetricPrefixes() []string { return []string{"serve.", "fleet."} }
+// declared in the static catalog. The serving daemon's, the fleet control
+// plane's, and the observability layer's own metrics are part of their
+// public contracts (`/metrics`, run manifests), so ad-hoc serve.* /
+// fleet.* / obs.* names are lint errors rather than dynamic extensions.
+func ReservedMetricPrefixes() []string { return []string{"serve.", "fleet.", "obs."} }
 
 // metricNameRE is the canonical metric-name shape: dotted lowercase path
 // with at least two segments.

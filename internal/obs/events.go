@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sync"
+)
+
+// The structured event journal: typed, schema-versioned records of the
+// control plane's discrete state changes — promotions, rollbacks, breaker
+// transitions, policy exclusions — each stamped with deterministic logical
+// clocks (round and sequence numbers, never wall time) and the trace/span
+// IDs of the operation that triggered it. Journals from two identical runs
+// are byte-identical after Normalize, the same determinism bar the run
+// reports and time-series store meet.
+
+// EventsSchema identifies the journal format. Bump on incompatible changes;
+// ValidateJournal pins it.
+const EventsSchema = "csspgo-events/v1"
+
+// EventType names one kind of control-plane event. Every emitted type must
+// be declared in the static catalog below — analysis.CheckEventNames
+// rejects ad-hoc types, mirroring the metric-name lint.
+type EventType string
+
+// The static event catalog.
+const (
+	// EvPromotion: the promotion gate accepted a merged candidate.
+	EvPromotion EventType = "promotion"
+	// EvRollback: the gate rejected a candidate; last-good was retained.
+	EvRollback EventType = "rollback"
+	// EvBreakerOpen / EvBreakerHalfOpen / EvBreakerClose: a per-source
+	// circuit breaker transitioned.
+	EvBreakerOpen     EventType = "breaker_open"
+	EvBreakerHalfOpen EventType = "breaker_half_open"
+	EvBreakerClose    EventType = "breaker_close"
+	// EvFreshnessExclusion: a source was excluded for a stagnant generation.
+	EvFreshnessExclusion EventType = "freshness_exclusion"
+	// EvQuotaClamp: a source's contribution was scaled down to the quota.
+	EvQuotaClamp EventType = "quota_clamp"
+	// EvDecodeSkip: the lenient decoder discarded records from a payload.
+	EvDecodeSkip EventType = "decode_skip"
+	// EvOverlapDegrading: the EWMA overlap-trend detector observed the
+	// promotion-gate margin eroding across rounds.
+	EvOverlapDegrading EventType = "overlap_degrading"
+)
+
+// EventTypes lists every cataloged event type, in declaration order.
+func EventTypes() []EventType {
+	return []EventType{
+		EvPromotion, EvRollback,
+		EvBreakerOpen, EvBreakerHalfOpen, EvBreakerClose,
+		EvFreshnessExclusion, EvQuotaClamp, EvDecodeSkip,
+		EvOverlapDegrading,
+	}
+}
+
+// eventNameRE is the canonical event-type shape: lowercase snake case.
+var eventNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// ValidEventName reports whether name follows the event-type conventions.
+func ValidEventName(name string) bool { return eventNameRE.MatchString(name) }
+
+// Event is one journal record. Field order is the serialization order;
+// Metrics maps marshal with sorted keys, so encoding is deterministic.
+type Event struct {
+	Schema string    `json:"schema"`
+	Type   EventType `json:"type"`
+	// Round and Seq are the deterministic logical clocks: the aggregation
+	// round (or serve generation) the event belongs to, and the journal's
+	// global emission sequence.
+	Round uint64 `json:"round"`
+	Seq   uint64 `json:"seq"`
+	// Source names the fleet source (or instance) the event concerns.
+	Source string `json:"source,omitempty"`
+	// TraceID/SpanID tie the event to the span that triggered it; Normalize
+	// strips them (they are deterministic only for seeded traces).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Metrics carries the triggering metric values (overlap, quota, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Detail is a short human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is an append-only in-memory event log. All methods are nil-safe
+// and safe for concurrent use; emission order is the serialization order,
+// so callers that need determinism must emit in a deterministic order (the
+// fleet aggregator drains per-source events in fleet order).
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Emit appends one event, stamping the schema and the next sequence number.
+// The caller fills every other field.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e.Schema = EventsSchema
+	e.Seq = j.seq
+	j.events = append(j.events, e)
+}
+
+// Len returns the number of recorded events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of the journal, in emission order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// TypesUsed lists the distinct event types emitted so far, in first-use
+// order (the fleet CLI self-lints them against the static catalog).
+func (j *Journal) TypesUsed() []string {
+	seen := map[EventType]bool{}
+	var out []string
+	for _, e := range j.Events() {
+		if !seen[e.Type] {
+			seen[e.Type] = true
+			out = append(out, string(e.Type))
+		}
+	}
+	return out
+}
+
+// Normalize strips the nondeterministic-in-general fields (trace and span
+// IDs) from every event, so journals from two identical runs are
+// byte-identical regardless of how their traces were seeded.
+func (j *Journal) Normalize() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.events {
+		j.events[i].TraceID = ""
+		j.events[i].SpanID = ""
+	}
+}
+
+// EncodeJSONL renders the journal as JSON Lines, one event per line, in
+// emission order. Encoding is deterministic: struct field order plus sorted
+// metric keys.
+func (j *Journal) EncodeJSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	for _, e := range j.Events() {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile encodes the journal to path.
+func (j *Journal) WriteFile(path string) error {
+	data, err := j.EncodeJSONL()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// DecodeJournal parses a JSONL journal, validating it first.
+func DecodeJournal(data []byte) ([]Event, error) {
+	if err := ValidateJournal(data); err != nil {
+		return nil, err
+	}
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ValidateJournal checks a JSONL journal against the v1 schema: every line
+// parses, pins the schema string, carries a cataloged event type, and the
+// sequence numbers strictly increase from 1.
+func ValidateJournal(data []byte) error {
+	known := map[EventType]bool{}
+	for _, t := range EventTypes() {
+		known[t] = true
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line, wantSeq := 0, uint64(1)
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("obs: journal line %d: not valid JSON: %w", line, err)
+		}
+		if e.Schema != EventsSchema {
+			return fmt.Errorf("obs: journal line %d: schema %q, want %q", line, e.Schema, EventsSchema)
+		}
+		if !known[e.Type] {
+			return fmt.Errorf("obs: journal line %d: uncataloged event type %q", line, e.Type)
+		}
+		if e.Seq != wantSeq {
+			return fmt.Errorf("obs: journal line %d: seq %d, want %d", line, e.Seq, wantSeq)
+		}
+		wantSeq++
+	}
+	return sc.Err()
+}

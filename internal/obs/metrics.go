@@ -25,6 +25,11 @@ const (
 // All handles are safe for concurrent use; counters are atomic so shard
 // workers aggregate race-free under -race.
 type Registry struct {
+	// epochMu fences snapshot epochs: writers updating a counter family that
+	// must be observed together hold it shared (Grouped), Snapshot holds it
+	// exclusive — so a snapshot never lands between two updates of one
+	// family (a torn read). Lock order is epochMu before mu.
+	epochMu   sync.RWMutex
 	mu        sync.Mutex
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
@@ -306,13 +311,33 @@ func (mv MetricValue) withQuantiles() MetricValue {
 // JSON-marshaling a Snapshot is deterministic (map keys sort).
 type Snapshot map[string]MetricValue
 
+// Grouped runs fn as one snapshot epoch: metric updates made inside fn are
+// observed by Snapshot either all or not at all. Use it when updating a
+// counter family whose members must stay consistent (e.g. sources merged
+// vs. excluded summing to sources polled) — a concurrent /metrics or
+// /timeseries scrape otherwise sees a torn view. Concurrent Grouped calls
+// do not block each other; only Snapshot excludes them. Nil-safe: fn still
+// runs (its updates are no-ops through nil handles).
+func (r *Registry) Grouped(fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
+	r.epochMu.RLock()
+	defer r.epochMu.RUnlock()
+	fn()
+}
+
 // Snapshot exports every registered metric. Zero-valued counters and
 // histograms are included, so a run's metric *set* is stable regardless of
-// what fired.
+// what fired. The export is one epoch: Grouped update families are never
+// observed half-applied.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	r.epochMu.Lock()
+	defer r.epochMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(Snapshot, len(r.kinds))

@@ -306,8 +306,10 @@ func DiffReportsThreshold(a, b *Report, threshold float64) DiffResult {
 		sb.WriteString("metrics:\n")
 		changed := 0
 		for _, name := range unionKeys(a.Metrics, b.Metrics) {
-			av, bv := metricScalar(a.Metrics[name]), metricScalar(b.Metrics[name])
-			if av == bv {
+			amv, bmv := a.Metrics[name], b.Metrics[name]
+			av, bv := metricScalar(amv), metricScalar(bmv)
+			quantiles := histQuantileDeltas(amv, bmv)
+			if av == bv && len(quantiles) == 0 {
 				continue
 			}
 			changed++
@@ -319,6 +321,16 @@ func DiffReportsThreshold(a, b *Report, threshold float64) DiffResult {
 				mark = regressed()
 			}
 			fmt.Fprintf(&sb, "  %-44s %14.6g -> %14.6g  %s%s\n", name, av, bv, pctChange(av, bv), mark)
+			// Histogram drift can hide behind an unchanged sum; surface the
+			// distribution shift as percentile sublines.
+			for _, q := range quantiles {
+				qa, qb := float64(q.a), float64(q.b)
+				qmark := ""
+				if IsTimingMetric(name) && qa > 0 && qb > qa*(1+threshold) {
+					qmark = regressed()
+				}
+				fmt.Fprintf(&sb, "    %-42s %14.6g -> %14.6g  %s%s\n", name+"."+q.name, qa, qb, pctChange(qa, qb), qmark)
+			}
 		}
 		if changed == 0 {
 			sb.WriteString("  (no metric changed)\n")
@@ -343,6 +355,30 @@ func stageMap(r *Report) map[string]Stage {
 	out := map[string]Stage{}
 	for _, st := range r.Stages {
 		out[st.Name] = st
+	}
+	return out
+}
+
+// quantileDelta is one changed histogram percentile.
+type quantileDelta struct {
+	name string
+	a, b int64
+}
+
+// histQuantileDeltas lists the p50/p95/p99 changes between two metric
+// values when at least one side is a histogram (empty otherwise — counters
+// and gauges have no distribution to drift).
+func histQuantileDeltas(a, b MetricValue) []quantileDelta {
+	if a.Kind != KindHistogram && b.Kind != KindHistogram {
+		return nil
+	}
+	var out []quantileDelta
+	for _, q := range []quantileDelta{
+		{"p50", a.P50, b.P50}, {"p95", a.P95, b.P95}, {"p99", a.P99, b.P99},
+	} {
+		if q.a != q.b {
+			out = append(out, q)
+		}
 	}
 	return out
 }

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The bounded in-memory time-series store: one fixed-capacity ring buffer
+// per cataloged metric, sampled once per aggregation round (fleet) or
+// refresh (serve). Points are stamped with deterministic logical clocks —
+// the round number and a per-store sample sequence, never wall time — so a
+// serialized store is byte-identical across two identical runs after
+// Normalize, the same determinism bar the run reports meet.
+
+// TimeSeriesSchema identifies the serialized store format.
+const TimeSeriesSchema = "csspgo-timeseries/v1"
+
+// DefaultSeriesCapacity bounds each ring buffer when the caller does not
+// choose a capacity.
+const DefaultSeriesCapacity = 256
+
+// Point is one sampled value: (round, seq) is the logical timestamp.
+type Point struct {
+	Round uint64  `json:"round"`
+	Seq   uint64  `json:"seq"`
+	Value float64 `json:"value"`
+}
+
+// tsRing is one metric's fixed-capacity ring: when full, the oldest point
+// is evicted (memory stays bounded no matter how long the fleet runs).
+type tsRing struct {
+	kind   Kind
+	buf    []Point
+	head   int // index of the oldest point
+	count  int
+	capped int64 // points evicted from this ring
+}
+
+func (r *tsRing) push(p Point) {
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = p
+		r.count++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+	r.capped++
+}
+
+func (r *tsRing) points() []Point {
+	out := make([]Point, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// TimeSeries is the store. All methods are nil-safe and safe for concurrent
+// use; Sample is the only writer, so callers keep one sampling site per
+// store (the round loop or the refresh path).
+type TimeSeries struct {
+	mu      sync.Mutex
+	cap     int
+	series  map[string]*tsRing
+	samples uint64
+}
+
+// NewTimeSeries returns a store whose rings hold up to capacity points
+// (DefaultSeriesCapacity when capacity <= 0).
+func NewTimeSeries(capacity int) *TimeSeries {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &TimeSeries{cap: capacity, series: map[string]*tsRing{}}
+}
+
+// Capacity returns the per-series ring capacity (0 for a nil store).
+func (ts *TimeSeries) Capacity() int {
+	if ts == nil {
+		return 0
+	}
+	return ts.cap
+}
+
+// Sample appends one point per metric in the snapshot, stamped with the
+// given round number and the store's next sample sequence. Values reduce
+// the same way report diffs do (metricScalar: histograms by Sum), so a
+// series is always one scalar per metric. Take the snapshot with
+// Registry.Snapshot (or under Grouped) so the sampled view is consistent.
+func (ts *TimeSeries) Sample(round uint64, snap Snapshot) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.samples++
+	for name, mv := range snap {
+		r, ok := ts.series[name]
+		if !ok {
+			r = &tsRing{kind: mv.Kind, buf: make([]Point, ts.cap)}
+			ts.series[name] = r
+		}
+		r.push(Point{Round: round, Seq: ts.samples, Value: metricScalar(mv)})
+	}
+}
+
+// Samples returns how many Sample calls the store has absorbed.
+func (ts *TimeSeries) Samples() uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.samples
+}
+
+// SeriesNames lists the tracked metric names, sorted.
+func (ts *TimeSeries) SeriesNames() []string {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]string, 0, len(ts.series))
+	for n := range ts.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Points returns one series' points in chronological order (nil when the
+// metric is not tracked).
+func (ts *TimeSeries) Points(name string) []Point {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r, ok := ts.series[name]
+	if !ok {
+		return nil
+	}
+	return r.points()
+}
+
+// Stats summarizes the store for the obs.timeseries.* metrics.
+func (ts *TimeSeries) Stats() (series int, points int64, evicted int64) {
+	if ts == nil {
+		return 0, 0, 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, r := range ts.series {
+		points += int64(r.count)
+		evicted += r.capped
+	}
+	return len(ts.series), points, evicted
+}
+
+// PublishStats records the store's own footprint into the registry under
+// the cataloged obs.timeseries.* names. Call it before Sample so the
+// sampled snapshot includes the store's state as of the previous round —
+// publishing is itself a registry write, so ordering it deterministically
+// keeps serialized output reproducible.
+func (ts *TimeSeries) PublishStats(reg *Registry) {
+	if ts == nil || reg == nil {
+		return
+	}
+	series, points, evicted := ts.Stats()
+	reg.Gauge(MObsTimeseriesSeries).Set(float64(series))
+	reg.Gauge(MObsTimeseriesPoints).Set(float64(points))
+	reg.Gauge(MObsTimeseriesEvicted).Set(float64(evicted))
+}
+
+// Normalize zeroes the values of wall-clock (_ns) series, the only
+// nondeterministic points, so stores from two identical runs serialize
+// byte-identically.
+func (ts *TimeSeries) Normalize() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for name, r := range ts.series {
+		if !IsTimingMetric(name) {
+			continue
+		}
+		for i := range r.buf {
+			r.buf[i].Value = 0
+		}
+	}
+}
+
+// tsSeriesJSON is one serialized series.
+type tsSeriesJSON struct {
+	Name   string  `json:"name"`
+	Kind   Kind    `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// tsJSON is the serialized store: series sort by name, points are
+// chronological, so encoding is deterministic.
+type tsJSON struct {
+	Schema   string         `json:"schema"`
+	Capacity int            `json:"capacity"`
+	Samples  uint64         `json:"samples"`
+	Evicted  int64          `json:"evicted_points"`
+	Series   []tsSeriesJSON `json:"series"`
+}
+
+// EncodeJSON renders the store as deterministic, indented JSON with a
+// trailing newline (diff-friendly, like the run reports).
+func (ts *TimeSeries) EncodeJSON() ([]byte, error) {
+	out := tsJSON{Schema: TimeSeriesSchema, Series: []tsSeriesJSON{}}
+	if ts != nil {
+		ts.mu.Lock()
+		out.Capacity = ts.cap
+		out.Samples = ts.samples
+		names := make([]string, 0, len(ts.series))
+		for n := range ts.series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			r := ts.series[n]
+			out.Evicted += r.capped
+			out.Series = append(out.Series, tsSeriesJSON{Name: n, Kind: r.kind, Points: r.points()})
+		}
+		ts.mu.Unlock()
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile encodes the store to path.
+func (ts *TimeSeries) WriteFile(path string) error {
+	data, err := ts.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ValidateTimeSeries checks a serialized store: schema pin, well-formed
+// metric names and kinds, per-series point counts within capacity, and
+// (round, seq) nondecreasing within each series.
+func ValidateTimeSeries(data []byte) error {
+	var t tsJSON
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("obs: timeseries: not valid JSON: %w", err)
+	}
+	if t.Schema != TimeSeriesSchema {
+		return fmt.Errorf("obs: timeseries: schema %q, want %q", t.Schema, TimeSeriesSchema)
+	}
+	if t.Capacity <= 0 {
+		return fmt.Errorf("obs: timeseries: capacity %d, want > 0", t.Capacity)
+	}
+	for _, s := range t.Series {
+		if !ValidMetricName(s.Name) {
+			return fmt.Errorf("obs: timeseries: series %q: malformed metric name", s.Name)
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge, KindHistogram:
+		default:
+			return fmt.Errorf("obs: timeseries: series %q: unknown kind %q", s.Name, s.Kind)
+		}
+		if len(s.Points) > t.Capacity {
+			return fmt.Errorf("obs: timeseries: series %q: %d points exceed capacity %d", s.Name, len(s.Points), t.Capacity)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			a, b := s.Points[i-1], s.Points[i]
+			if b.Seq <= a.Seq || b.Round < a.Round {
+				return fmt.Errorf("obs: timeseries: series %q: point %d not after point %d", s.Name, i, i-1)
+			}
+		}
+	}
+	return nil
+}

@@ -32,10 +32,13 @@ func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
 // Trace is one run's span tree. All span operations are safe for concurrent
 // use (shard workers open spans on their own goroutines).
 type Trace struct {
-	mu    sync.Mutex
-	now   func() time.Time
-	epoch time.Time
-	root  *Span
+	mu       sync.Mutex
+	now      func() time.Time
+	epoch    time.Time
+	root     *Span
+	traceID  string // local 32-hex trace ID; spans inherit it unless adopted
+	idBase   uint64 // hash of traceID, the span-ID derivation base
+	nextSpan uint64 // per-trace span sequence (logical, never wall time)
 }
 
 // NewTrace starts a trace whose epoch is now.
@@ -45,8 +48,38 @@ func NewTrace() *Trace { return NewTraceWithClock(time.Now) }
 // tests).
 func NewTraceWithClock(now func() time.Time) *Trace {
 	t := &Trace{now: now, epoch: now()}
+	t.setTraceID(DeriveTraceID("csspgo"))
 	t.root = &Span{t: t, name: ""}
+	t.root.sc.TraceID = t.traceID
 	return t
+}
+
+// SetTraceID fixes the trace's local ID (a 32-hex-digit string, e.g. from
+// DeriveTraceID). Call it before opening spans: spans already minted keep
+// the IDs they were born with. Invalid IDs are ignored.
+func (t *Trace) SetTraceID(id string) {
+	if t == nil || !isHex(id, 32) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setTraceID(id)
+	t.root.sc.TraceID = id
+}
+
+func (t *Trace) setTraceID(id string) {
+	t.traceID = id
+	t.idBase = fnv1a64(id)
+}
+
+// TraceID returns the trace's local ID ("" for a nil trace).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
 }
 
 // Span is one timed region of the pipeline. End it exactly once; nested
@@ -60,6 +93,8 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	sc       SpanContext // this span's (trace ID, span ID)
+	parentID string      // parent span ID ("" at the trace root)
 }
 
 // Span opens a top-level span.
@@ -91,6 +126,35 @@ func (s *Span) WorkerSpan(name string, worker int, attrs ...Attr) *Span {
 	return s.child(name, worker+1, attrs)
 }
 
+// SpanRemote opens a child span adopted into a remote trace: the span (and
+// its descendants) carry the remote trace ID, and its parent link points at
+// the remote span — the serve daemon uses this to attribute handler and
+// refresh spans to the fleet aggregator's round. An invalid remote context
+// degrades to a plain local child span.
+func (s *Span) SpanRemote(name string, remote SpanContext, attrs ...Attr) *Span {
+	c := s.child(name, -1, attrs)
+	if c == nil || !remote.Valid() {
+		return c
+	}
+	t := s.t
+	t.mu.Lock()
+	c.sc.TraceID = remote.TraceID
+	c.parentID = remote.SpanID
+	t.mu.Unlock()
+	return c
+}
+
+// Context returns the span's (trace ID, span ID) — the value to propagate
+// downstream as a traceparent header. Zero for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.sc
+}
+
 func (s *Span) child(name string, tid int, attrs []Attr) *Span {
 	if s == nil {
 		return nil
@@ -98,7 +162,10 @@ func (s *Span) child(name string, tid int, attrs []Attr) *Span {
 	t := s.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.nextSpan++
 	c := &Span{t: t, name: name, attrs: attrs, tid: s.tid, start: t.now().Sub(t.epoch)}
+	c.sc = SpanContext{TraceID: s.sc.TraceID, SpanID: spanIDFrom(t.idBase, t.nextSpan)}
+	c.parentID = s.sc.SpanID // "" when the parent is the trace root
 	if tid >= 0 {
 		c.tid = tid
 	}
@@ -147,7 +214,8 @@ func (t *Trace) snapshot() *Span {
 	var cp func(s *Span) *Span
 	cp = func(s *Span) *Span {
 		out := &Span{name: s.name, attrs: append([]Attr(nil), s.attrs...),
-			tid: s.tid, start: s.start, dur: s.dur, ended: s.ended}
+			tid: s.tid, start: s.start, dur: s.dur, ended: s.ended,
+			sc: s.sc, parentID: s.parentID}
 		if !s.ended {
 			out.dur = now - s.start
 		}
@@ -269,11 +337,17 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Pid:  1,
 			Tid:  f.s.tid + 1,
 		}
-		if len(f.s.attrs) > 0 {
-			ev.Args = map[string]any{}
-			for _, a := range f.s.attrs {
-				ev.Args[a.Key] = a.Value
-			}
+		ev.Args = map[string]any{}
+		for _, a := range f.s.attrs {
+			ev.Args[a.Key] = a.Value
+		}
+		// Causal identity: every exported span carries its trace/span ID, and
+		// non-root spans their parent link, so per-process exports stitch into
+		// one fleet trace (ValidateStitchedTrace checks the links resolve).
+		ev.Args["trace_id"] = f.s.sc.TraceID
+		ev.Args["span_id"] = f.s.sc.SpanID
+		if f.s.parentID != "" {
+			ev.Args["parent_span_id"] = f.s.parentID
 		}
 		ct.TraceEvents = append(ct.TraceEvents, ev)
 	}

@@ -85,7 +85,7 @@ func TestServeHTTPSmoke(t *testing.T) {
 	base := "http://" + l.Addr().String()
 
 	res, body := httpGet(t, base+"/healthz")
-	if res.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+	if res.StatusCode != 200 || !strings.Contains(string(body), `"status":"ok"`) {
 		t.Fatalf("/healthz: %d %q", res.StatusCode, body)
 	}
 

@@ -71,17 +71,28 @@ func flatFuncTotals(p *profdata.Profile) map[string]uint64 {
 // IR needed), so it also works on decoded profiles without sources.
 func DiffProfiles(old, new *profdata.Profile) ProfileDiff {
 	ow, nw := contextWeights(old), contextWeights(new)
-	var oTotal, nTotal float64
+	// Integer accumulation is order-independent; only convert once summed.
+	var oSum, nSum uint64
 	for _, w := range ow {
-		oTotal += float64(w)
+		oSum += w
 	}
 	for _, w := range nw {
-		nTotal += float64(w)
+		nSum += w
 	}
+	oTotal, nTotal := float64(oSum), float64(nSum)
 
 	d := ProfileDiff{FuncDivergence: map[string]float64{}}
+	// Sum in sorted key order: float addition is not associative, and the
+	// overlap lands in journals and manifests that must be byte-identical
+	// across reruns — map iteration order would leak in as 1-ulp noise.
+	oKeys := make([]string, 0, len(ow))
+	for key := range ow {
+		oKeys = append(oKeys, key)
+	}
+	sort.Strings(oKeys)
 	overlap := 0.0
-	for key, w := range ow {
+	for _, key := range oKeys {
+		w := ow[key]
 		nwv, ok := nw[key]
 		if !ok {
 			d.Lost = append(d.Lost, key)
@@ -103,9 +114,14 @@ func DiffProfiles(old, new *profdata.Profile) ProfileDiff {
 	d.ContextOverlap = overlap
 
 	of, nf := flatFuncTotals(old), flatFuncTotals(new)
+	fKeys := make([]string, 0, len(of))
+	for name := range of {
+		fKeys = append(fKeys, name)
+	}
+	sort.Strings(fKeys)
 	var divSum float64
-	for name, ov := range of {
-		nv := nf[name]
+	for _, name := range fKeys {
+		ov, nv := of[name], nf[name]
 		if ov == 0 && nv == 0 {
 			continue
 		}

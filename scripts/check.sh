@@ -133,7 +133,10 @@ if [ -z "$url" ]; then
 	kill "$servepid" 2>/dev/null || true
 	exit 1
 fi
-[ "$(curl -sf "$url/healthz")" = "ok" ]
+curl -sf "$url/healthz" | grep -q '"status":"ok"'
+curl -sf "$url/healthz" | grep -q '"last_refresh"'
+curl -sf "$url/timeseries" | grep -q '"schema": "csspgo-timeseries/v1"'
+curl -sf "$url/dashboard" | grep -qi '<html'
 curl -sf "$url/metrics" | grep -q '^serve_requests '
 curl -sf "$url/metrics" | grep -q '^serve_swap_latency_ns{quantile="0.99"} '
 curl -sf "$url/flamegraph" > "$obsdir/flame.folded"
@@ -195,5 +198,54 @@ fi
 cmp "$obsdir/fleet.prof" "$obsdir/fleet.prof.golden"
 kill -INT $fleetpids
 wait $fleetpids
+
+echo "== fleet observability (traced round, stitched trace, deterministic journal + time-series)"
+# Three traced instances plus a traced aggregator: the per-process Chrome
+# exports must stitch into one causally-linked fleet trace (every
+# serve.handle_profile span descends from the aggregator's fleet.round
+# span, across the process boundary), and two identical fleet runs must
+# write byte-identical normalized journals and time-series stores.
+obsurls=""
+obspids=""
+for s in 1 2 3; do
+	bin/csspgo serve -addr 127.0.0.1:0 -name quickstart -seed "$s" \
+		-trace "$obsdir/obs-serve$s.trace.json" examples/quickstart/app.ml > "$obsdir/obs-serve$s.log" 2>&1 &
+	obspids="$obspids $!"
+done
+for s in 1 2 3; do
+	u=""
+	i=0
+	while [ $i -lt 100 ]; do
+		u=$(sed -n 's|^serving profile .* on \(http://[^ ]*\).*$|\1|p' "$obsdir/obs-serve$s.log" | head -n 1)
+		[ -n "$u" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	if [ -z "$u" ]; then
+		echo "observability instance $s never came up:" >&2
+		cat "$obsdir/obs-serve$s.log" >&2
+		kill $obspids 2>/dev/null || true
+		exit 1
+	fi
+	obsurls="$obsurls $u/profiles/quickstart"
+done
+# Two identical one-shot runs, each promoting from scratch. Both mint the
+# same seeded trace IDs, so one aggregator export resolves the instance-side
+# parent links from either run.
+bin/csspgo fleet -o "$obsdir/obs-a.prof" -trace "$obsdir/obs-fleet.trace.json" \
+	-journal "$obsdir/obs-a.journal.jsonl" -timeseries "$obsdir/obs-a.ts.json" $obsurls
+bin/csspgo fleet -o "$obsdir/obs-b.prof" \
+	-journal "$obsdir/obs-b.journal.jsonl" -timeseries "$obsdir/obs-b.ts.json" $obsurls
+cmp "$obsdir/obs-a.journal.jsonl" "$obsdir/obs-b.journal.jsonl"
+cmp "$obsdir/obs-a.ts.json" "$obsdir/obs-b.ts.json"
+grep -q '"type":"promotion"' "$obsdir/obs-a.journal.jsonl"
+grep -q '"fleet.merge.rounds"' "$obsdir/obs-a.ts.json"
+# Instance traces are written on graceful shutdown; collect, then stitch.
+kill -INT $obspids
+wait $obspids
+bin/csspgo trace -stitch "$obsdir/obs-merged.trace.json" -min-cross-links 3 \
+	-require-ancestor serve.handle_profile=fleet.round \
+	"$obsdir/obs-fleet.trace.json" "$obsdir/obs-serve1.trace.json" \
+	"$obsdir/obs-serve2.trace.json" "$obsdir/obs-serve3.trace.json"
 
 echo "check: OK"
