@@ -20,20 +20,25 @@ race:
 # the experiment.fig6.* headline gauges; BENCH_5.json adds the Table 1
 # variant sweep so speedup regressions gate alongside stage timings;
 # BENCH_7.json adds the streaming-vs-batch generation throughput sweep
-# (experiment.streambench.*.stream_samples_per_sec and friends). The alloc
-# gate fails the lane if allocs/op regress >10% over the committed baseline.
+# (experiment.streambench.*.stream_samples_per_sec and friends);
+# BENCH_10.json traces the overhead/quality Pareto surface
+# (experiment.overheadsweep.p<period>.overhead_pct / .context_overlap). The
+# alloc gate fails the lane if allocs/op regress >10% over the committed
+# baseline.
 bench:
 	$(GO) test -bench=. -benchmem
 	sh scripts/allocgate.sh
 	$(GO) run ./cmd/experiments -run fig6 -report BENCH_4.json
 	$(GO) run ./cmd/experiments -run fig6,table1 -report BENCH_5.json
 	$(GO) run ./cmd/experiments -run fig6,streambench -report BENCH_7.json
+	$(GO) run ./cmd/experiments -run overheadsweep -report BENCH_10.json
 
 # Fuzz smoke lane: native fuzzing of the profile readers, the folded
 # flamegraph codecs, the translation validator over random programs
-# through the full checked pipeline, and the streaming chunked dispatcher
+# through the full checked pipeline, the streaming chunked dispatcher
 # (fuzzer-chosen chunk size / worker count must stay byte-identical to the
-# batch path), one short burst per target (also part of `make check`).
+# batch path), and the traceparent header parser (must never panic on
+# hostile headers), one short burst per target (also part of `make check`).
 fuzz:
 	$(GO) test ./internal/profdata -run='^FuzzReadText$$' -fuzz='^FuzzReadText$$' -fuzztime=5s
 	$(GO) test ./internal/profdata -run='^FuzzReadBinary$$' -fuzz='^FuzzReadBinary$$' -fuzztime=5s
@@ -41,6 +46,7 @@ fuzz:
 	$(GO) test ./internal/introspect -run='^FuzzFoldedBinary$$' -fuzz='^FuzzFoldedBinary$$' -fuzztime=5s
 	$(GO) test ./internal/opt -run='^FuzzTranslationValidate$$' -fuzz='^FuzzTranslationValidate$$' -fuzztime=5s
 	$(GO) test ./internal/sampling -run='^FuzzChunkedDispatcher$$' -fuzz='^FuzzChunkedDispatcher$$' -fuzztime=5s
+	$(GO) test ./internal/obs -run='^FuzzParseTraceparent$$' -fuzz='^FuzzParseTraceparent$$' -fuzztime=5s
 
 # Full hygiene gate: gofmt, vet, build, tests, and `csspgo lint` over every
 # example module (checked pipeline + profile/IR lint suite).

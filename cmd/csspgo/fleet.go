@@ -128,6 +128,7 @@ func cmdFleet(args []string) error {
 	status := (*fleet.StatusServer)(nil)
 	if *statusAddr != "" {
 		status = fleet.NewStatusServer(reg, journal, series)
+		status.SetAggregator(agg)
 		l, err := net.Listen("tcp", *statusAddr)
 		if err != nil {
 			return err

@@ -39,6 +39,7 @@ func cmdServe(args []string) error {
 	stream := fs.Bool("stream", true, "stream samples to unwinder workers during collection (false = materialize, then generate)")
 	chunkSize := fs.Int("chunk-size", 0, "streamed-chunk size in samples (0 = default)")
 	tracePath := fs.String("trace", "", "write the daemon's Chrome trace-event JSON on shutdown (stitchable with the fleet trace)")
+	ohBudget := fs.Float64("overhead-budget", 0, "profiling-overhead budget in percent; breaches are journaled (0 = no check)")
 	_ = fs.Parse(args)
 
 	if err := sampling.ValidateWorkers(*workers); err != nil {
@@ -52,37 +53,45 @@ func cmdServe(args []string) error {
 
 	reg := obs.NewRegistry()
 	profName := *name
+	if profName == "" {
+		if *workload != "" {
+			profName = *workload
+		} else {
+			profName = "app"
+		}
+	}
+	// The daemon's overhead observatory: every refresh is metered, the
+	// normalized ledger lands on /overhead, and budget breaches plus
+	// low-confidence findings go to the journal the dashboard renders.
+	journal := obs.NewJournal()
+	oo := &pgo.OverheadObs{Journal: journal, BudgetPct: *ohBudget, Source: profName}
 	var refresher introspect.RefreshFunc
 	switch {
 	case *workload != "":
 		if fs.NArg() > 0 {
 			return fmt.Errorf("serve: -workload and source files are mutually exclusive")
 		}
-		fn, err := pgo.NewWorkloadRefresher(*workload, *scale, pc, reg)
+		fn, err := pgo.NewWorkloadRefresherObserved(*workload, *scale, pc, reg, oo)
 		if err != nil {
 			return err
 		}
 		refresher = fn
-		if profName == "" {
-			profName = *workload
-		}
 	default:
 		var files []*source.File
 		files, err := parseFiles(fs.Args())
 		if err != nil {
 			return err
 		}
-		fn, err := pgo.NewRefresher(files, pgo.SeededRequests(*n, *seed, *bound), pc, reg)
+		fn, err := pgo.NewRefresherObserved(files, pgo.SeededRequests(*n, *seed, *bound), pc, reg, oo)
 		if err != nil {
 			return err
 		}
 		refresher = fn
-		if profName == "" {
-			profName = "app"
-		}
 	}
 
 	srv := introspect.NewServer(profName, reg)
+	srv.SetJournal(journal)
+	oo.Sink = srv
 	// The daemon's own trace: deterministic trace ID derived from the
 	// profile name and training seed, so a fleet fixture stitches
 	// identically across reruns. The seed keeps IDs distinct across the

@@ -34,3 +34,15 @@ func TestCheckEventNames(t *testing.T) {
 		t.Fatalf("got %d duplicate / %d name / %d uncataloged diagnostics, want 1/1/2: %v", dup, bad, uncat, diags)
 	}
 }
+
+// The observatory's event names are cataloged and convention-clean; a lookalike
+// stays uncataloged.
+func TestCheckEventNamesKnowsOverheadEvents(t *testing.T) {
+	if diags := CheckEventNames([]string{"overhead_budget_breach", "confidence_low"}); len(diags) != 0 {
+		t.Fatalf("cataloged observatory events flagged: %v", diags)
+	}
+	diags := CheckEventNames([]string{"overhead_budget_breached"})
+	if len(diags) != 1 || diags[0].Check != "event-uncataloged" {
+		t.Fatalf("lookalike not flagged: %v", diags)
+	}
+}

@@ -85,3 +85,15 @@ func TestCheckHTTPEndpointsFlagsWriteBeforeContentType(t *testing.T) {
 		t.Fatalf("endpoint flags = %d, diags = %v", byCheck["http-endpoint"], diags)
 	}
 }
+
+// The overhead.* namespace is reserved: a live overhead-prefixed metric
+// outside the catalog is a lint error, exactly like serve.* and fleet.*.
+func TestCheckMetricsCatalogedReservesOverhead(t *testing.T) {
+	diags := CheckMetricsCataloged([]string{"overhead.rogue_gauge", obs.MOverheadPct})
+	if len(diags) != 1 || diags[0].Check != "metric-uncataloged" {
+		t.Fatalf("diags = %v", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "overhead.rogue_gauge") {
+		t.Fatalf("msg = %q", diags[0].Msg)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"csspgo/internal/obs"
+	"csspgo/internal/overhead"
 	"csspgo/internal/profdata"
 )
 
@@ -132,6 +133,12 @@ type Aggregator struct {
 	reg     *obs.Registry
 	now     func() time.Time
 	round   uint64 // rounds completed + 1 during RoundOnce (1-based)
+
+	// confMu guards conf, the per-source confidence summaries from the
+	// latest round each source decoded successfully (poll goroutines write,
+	// the status server's /overhead endpoint reads concurrently).
+	confMu sync.Mutex
+	conf   map[string]*overhead.ConfidenceReport
 }
 
 // NewAggregator adopts the sources (installing a breaker on each) and
@@ -166,6 +173,61 @@ func NewAggregator(sources []*Source, cfg Config, reg *obs.Registry) *Aggregator
 		fetcher: NewFetcher(cfg.Fetch),
 		reg:     reg,
 		now:     now,
+		conf:    map[string]*overhead.ConfidenceReport{},
+	}
+}
+
+// SourceConfidence is one source's profile-confidence summary, the
+// fleet-level aggregation the status server's /overhead endpoint reports.
+type SourceConfidence struct {
+	Source           string `json:"source"`
+	TotalSamples     uint64 `json:"total_samples"`
+	HotConfident     int    `json:"hot_confident"`
+	HotUncertain     int    `json:"hot_uncertain"`
+	ColdInstrumented int    `json:"cold_instrumented"`
+}
+
+// ConfidenceSummaries returns the latest per-source confidence summaries,
+// in fleet order (sources that never decoded a profile are omitted).
+func (a *Aggregator) ConfidenceSummaries() []SourceConfidence {
+	a.confMu.Lock()
+	defer a.confMu.Unlock()
+	var out []SourceConfidence
+	for _, s := range a.sources {
+		c := a.conf[s.Name]
+		if c == nil {
+			continue
+		}
+		out = append(out, SourceConfidence{
+			Source:           s.Name,
+			TotalSamples:     c.TotalSamples,
+			HotConfident:     c.HotConfident,
+			HotUncertain:     c.HotUncertain,
+			ColdInstrumented: c.ColdInstrumented,
+		})
+	}
+	return out
+}
+
+// observeConfidence scores a source's freshly decoded profile, stores the
+// summary for the status surface, and buffers a confidence_low event when
+// the source's hot set is under-sampled. Runs on the source's poll
+// goroutine; only the summary map needs locking.
+func (a *Aggregator) observeConfidence(s *Source, prof *profdata.Profile) {
+	c := overhead.ScoreProfile(prof, 0, 0, 0)
+	a.confMu.Lock()
+	a.conf[s.Name] = c
+	a.confMu.Unlock()
+	if c.HotUncertain > 0 {
+		s.pending = append(s.pending, obs.Event{
+			Type: obs.EvConfidenceLow, Source: s.Name,
+			Metrics: map[string]float64{
+				"hot_uncertain": float64(c.HotUncertain),
+				"total_samples": float64(c.TotalSamples),
+			},
+			Detail: fmt.Sprintf("%d hot function(s) below the %.1f%% relative-error bound",
+				c.HotUncertain, c.MaxRelErrPct),
+		})
 	}
 }
 
@@ -236,8 +298,15 @@ func (a *Aggregator) RoundOnce(ctx context.Context) *Round {
 		})
 	}
 	msp.End()
+	low := 0
+	for _, sc := range a.ConfidenceSummaries() {
+		if sc.HotUncertain > 0 {
+			low++
+		}
+	}
 	a.reg.Grouped(func() {
 		a.reg.Counter(obs.MFleetRounds).Add(1)
+		a.reg.Gauge(obs.MFleetConfidenceLowSources).Set(float64(low))
 		a.reg.Histogram(obs.MFleetRoundNS).Observe(a.now().Sub(start).Nanoseconds())
 	})
 	return round
@@ -339,6 +408,11 @@ func (a *Aggregator) pollSource(ctx context.Context, s *Source, parent *obs.Span
 		o.Err = err.Error()
 		return o, nil
 	}
+
+	// Confidence is scored on the decoded (unscaled) payload: quota and
+	// weight scaling change merge arithmetic, not the instance's own
+	// statistical strength.
+	a.observeConfidence(s, prof)
 
 	// Per-source state below is touched only by this source's goroutine
 	// (one per round, rounds sequential), so no locking is needed.

@@ -30,6 +30,7 @@ type StatusServer struct {
 	healthy     int
 	generation  uint64
 	lastOutcome string // "promoted", "rolled-back", "no-candidate", ...
+	agg         *Aggregator
 }
 
 // NewStatusServer wires the aggregator's registry, journal, and time-series
@@ -55,10 +56,22 @@ func (s *StatusServer) ObserveRound(round uint64, healthy int, generation uint64
 	s.lastOutcome = outcome
 }
 
+// SetAggregator attaches the aggregator whose live per-source state the
+// status surface reports: circuit-breaker states on /healthz and
+// profile-confidence summaries on /overhead.
+func (s *StatusServer) SetAggregator(agg *Aggregator) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.agg = agg
+	s.mu.Unlock()
+}
+
 // Endpoints lists the status surface (as concrete probe paths — the
 // endpoint lint and the smoke tests iterate over these).
 func (s *StatusServer) Endpoints() []string {
-	return []string{"/healthz", "/metrics", "/timeseries", "/events", "/dashboard"}
+	return []string{"/healthz", "/metrics", "/timeseries", "/events", "/dashboard", "/overhead"}
 }
 
 // Handler returns the status HTTP handler. Every handler sets Content-Type
@@ -74,9 +87,39 @@ func (s *StatusServer) Handler() http.Handler {
 			"generation": s.generation,
 			"last_round": s.lastOutcome,
 		}
+		agg := s.agg
 		s.mu.Unlock()
+		if agg != nil {
+			// Per-source circuit-breaker states (closed / open / half-open):
+			// a map keyed by source name, so the JSON shape is stable and
+			// the states marshal in sorted source order.
+			states := map[string]string{}
+			for _, src := range agg.Sources() {
+				states[src.Name] = src.Breaker().State().String()
+			}
+			st["sources"] = states
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/overhead", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		agg := s.agg
+		s.mu.Unlock()
+		if agg == nil {
+			http.Error(w, "no aggregator attached", http.StatusNotFound)
+			return
+		}
+		rows := agg.ConfidenceSummaries()
+		low := 0
+		for _, sc := range rows {
+			if sc.HotUncertain > 0 {
+				low++
+			}
+		}
+		doc := map[string]any{"sources": rows, "low_sources": low}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(doc)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

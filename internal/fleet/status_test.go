@@ -1,12 +1,16 @@
 package fleet
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"csspgo/internal/analysis"
 	"csspgo/internal/obs"
+	"csspgo/internal/profdata"
 )
 
 // The fleet status surface passes the same HTTP-endpoint lint the serve
@@ -74,5 +78,78 @@ func TestOutcomeString(t *testing.T) {
 		if got := OutcomeString(c.round, c.promoted, c.gated); got != c.want {
 			t.Fatalf("OutcomeString(%v, %v) = %q, want %q", c.promoted, c.gated, got, c.want)
 		}
+	}
+}
+
+// With an aggregator attached, /healthz pins the per-source circuit-breaker
+// JSON shape ("sources": {name: state}) and /overhead serves the fleet's
+// per-source confidence summaries.
+func TestStatusServerAggregatorSurfaces(t *testing.T) {
+	// One source serving a profile whose hot function is under-sampled
+	// (>=1% share, <100 samples), one source that always fails: after two
+	// rounds the first is closed with a confidence summary, the second open.
+	weak := profdata.New(profdata.ProbeBased, false)
+	weak.FuncProfile("hot").AddBody(profdata.LocKey{ID: 1}, 50)
+	good := httptest.NewServer(newProfileServer(weak, 1))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	cfg := testAggConfig()
+	cfg.Journal = journal
+	agg := NewAggregator([]*Source{
+		{Name: "a", URL: good.URL},
+		{Name: "b", URL: bad.URL},
+	}, cfg, reg)
+	for i := 0; i < 2; i++ {
+		agg.RoundOnce(context.Background())
+	}
+
+	s := NewStatusServer(reg, journal, obs.NewTimeSeries(4))
+	s.SetAggregator(agg)
+	h := s.Handler()
+	get := func(path string) string {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s -> %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	hz := get("/healthz")
+	if !strings.Contains(hz, `"sources":{"a":"closed","b":"open"}`) {
+		t.Fatalf("healthz breaker states wrong: %s", hz)
+	}
+
+	oh := get("/overhead")
+	var doc struct {
+		Sources    []SourceConfidence `json:"sources"`
+		LowSources int                `json:"low_sources"`
+	}
+	if err := json.Unmarshal([]byte(oh), &doc); err != nil {
+		t.Fatalf("/overhead not valid JSON: %v\n%s", err, oh)
+	}
+	if len(doc.Sources) != 1 || doc.Sources[0].Source != "a" {
+		t.Fatalf("confidence summaries = %+v", doc.Sources)
+	}
+	if doc.Sources[0].HotUncertain == 0 || doc.LowSources != 1 {
+		t.Fatalf("under-sampled source not flagged: %+v", doc)
+	}
+	if reg.Gauge(obs.MFleetConfidenceLowSources).Value() != 1 {
+		t.Fatalf("%s = %v", obs.MFleetConfidenceLowSources, reg.Gauge(obs.MFleetConfidenceLowSources).Value())
+	}
+
+	// Without an aggregator /overhead 404s but /healthz stays shapely.
+	bare := NewStatusServer(reg, obs.NewJournal(), obs.NewTimeSeries(4))
+	rec := httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/overhead", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/overhead without aggregator -> %d", rec.Code)
 	}
 }

@@ -56,8 +56,13 @@ type Server struct {
 	// handler/refresh spans; series samples the registry once per refresh;
 	// fleetCtx remembers the last traceparent a fleet fetch carried, so
 	// refresh spans attribute to the aggregator round that consumed them.
-	span   *obs.Span
-	series *obs.TimeSeries
+	span    *obs.Span
+	series  *obs.TimeSeries
+	journal *obs.Journal
+
+	// ohData holds the latest normalized csspgo-overhead/v1 artifact (the
+	// refresher delivers one per generation through SetOverhead).
+	ohData atomic.Pointer[[]byte]
 
 	ctxMu    sync.Mutex
 	fleetCtx obs.SpanContext
@@ -93,6 +98,28 @@ func (s *Server) SetTimeSeries(ts *obs.TimeSeries) { s.series = ts }
 
 // TimeSeries returns the installed store (nil when sampling is off).
 func (s *Server) TimeSeries() *obs.TimeSeries { return s.series }
+
+// SetJournal installs the daemon's event journal; the dashboard then
+// renders its events (budget breaches, low-confidence findings).
+func (s *Server) SetJournal(j *obs.Journal) { s.journal = j }
+
+// SetOverhead atomically publishes a new overhead artifact for /overhead
+// (the refresher calls it once per generation; pgo.OverheadSink).
+func (s *Server) SetOverhead(data []byte) {
+	if data == nil {
+		return
+	}
+	s.ohData.Store(&data)
+}
+
+// Overhead returns the latest overhead artifact (nil before the first
+// delivery).
+func (s *Server) Overhead() []byte {
+	if p := s.ohData.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // fleetContext returns the last trace context a fleet fetch propagated
 // (zero before any traced fetch arrived).
@@ -219,6 +246,7 @@ func (s *Server) Endpoints() []string {
 		"/timeseries",
 		"/dashboard",
 		"/report",
+		"/overhead",
 		"/flamegraph",
 		"/profiles/" + s.name,
 	}
@@ -256,7 +284,16 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(obs.RenderDashboard("csspgo serve: "+s.name, s.series, s.reg.Snapshot(), nil))
+		w.Write(obs.RenderDashboard("csspgo serve: "+s.name, s.series, s.reg.Snapshot(), s.journal.Events()))
+	})
+	mux.HandleFunc("/overhead", func(w http.ResponseWriter, r *http.Request) {
+		data := s.Overhead()
+		if data == nil {
+			http.Error(w, "no overhead ledger collected yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		cur := s.Current()

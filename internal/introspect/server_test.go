@@ -255,3 +255,37 @@ func TestRefreshLoopCountsFailures(t *testing.T) {
 		t.Fatal("failed refresh must not swap")
 	}
 }
+
+// /overhead 404s before the first artifact lands and serves the exact bytes
+// the refresher published afterwards (the server treats the artifact as
+// opaque — no re-encoding, so fleet-side byte comparisons hold).
+func TestServerOverheadEndpoint(t *testing.T) {
+	s := NewServer("p", obs.NewRegistry())
+	if err := s.SetProfile(testProfile(), nil); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	res, _ := get(t, h, "/overhead")
+	if res.StatusCode != 404 {
+		t.Fatalf("/overhead before first artifact -> %d", res.StatusCode)
+	}
+
+	artifact := []byte(`{"schema":"csspgo-overhead/v1"}` + "\n")
+	s.SetOverhead(artifact)
+	res, body := get(t, h, "/overhead")
+	if res.StatusCode != 200 {
+		t.Fatalf("/overhead -> %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !bytes.Equal(body, artifact) {
+		t.Fatalf("served bytes differ: %q", body)
+	}
+	// nil delivery is ignored, not a wipe.
+	s.SetOverhead(nil)
+	if res, _ := get(t, h, "/overhead"); res.StatusCode != 200 {
+		t.Fatalf("nil SetOverhead wiped the artifact: %d", res.StatusCode)
+	}
+}

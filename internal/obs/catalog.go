@@ -128,12 +128,33 @@ const (
 	MFleetEventsEmitted          = "fleet.events.emitted"
 	MFleetEventsOverlapDegrading = "fleet.events.overlap_degrading"
 
+	// internal/fleet — per-source profile-confidence aggregation.
+	MFleetConfidenceLowSources = "fleet.confidence.low_sources"
+
 	// internal/obs — the bounded time-series store's own footprint. The
 	// obs.* prefix is reserved like serve.* and fleet.*: the observability
 	// layer's self-metrics are part of its public surface.
 	MObsTimeseriesSeries  = "obs.timeseries.series"
 	MObsTimeseriesPoints  = "obs.timeseries.points"
 	MObsTimeseriesEvicted = "obs.timeseries.evicted_points"
+
+	// internal/overhead — the cost-and-confidence observatory. The
+	// overhead.* prefix is reserved: the cost ledger feeds the /overhead
+	// endpoints and dashboards, so ad-hoc names there are lint errors.
+	MOverheadTotalCycles      = "overhead.total_cycles"
+	MOverheadAppCycles        = "overhead.app_cycles"
+	MOverheadCycles           = "overhead.overhead_cycles"
+	MOverheadProbeCycles      = "overhead.probe_cycles"
+	MOverheadSampleCycles     = "overhead.sample_cycles"
+	MOverheadVProfCycles      = "overhead.value_profile_cycles"
+	MOverheadSamples          = "overhead.samples"
+	MOverheadProbeIncrements  = "overhead.probe_increments"
+	MOverheadFramesWalked     = "overhead.frames_walked"
+	MOverheadPct              = "overhead.overhead_pct"
+	MOverheadBudgetBreaches   = "overhead.budget_breaches"
+	MOverheadHotConfident     = "overhead.confidence.hot_confident"
+	MOverheadHotUncertain     = "overhead.confidence.hot_uncertain"
+	MOverheadColdInstrumented = "overhead.confidence.cold_instrumented"
 )
 
 // CatalogNames lists every statically declared metric name (dynamic names,
@@ -174,16 +195,23 @@ func CatalogNames() []string {
 		MFleetPromotions, MFleetGateFailures, MFleetRollbacks,
 		MFleetRoundNS,
 		MFleetEventsEmitted, MFleetEventsOverlapDegrading,
+		MFleetConfidenceLowSources,
 		MObsTimeseriesSeries, MObsTimeseriesPoints, MObsTimeseriesEvicted,
+		MOverheadTotalCycles, MOverheadAppCycles, MOverheadCycles,
+		MOverheadProbeCycles, MOverheadSampleCycles, MOverheadVProfCycles,
+		MOverheadSamples, MOverheadProbeIncrements, MOverheadFramesWalked,
+		MOverheadPct, MOverheadBudgetBreaches,
+		MOverheadHotConfident, MOverheadHotUncertain, MOverheadColdInstrumented,
 	}
 }
 
 // ReservedMetricPrefixes lists namespaces whose every metric must be
 // declared in the static catalog. The serving daemon's, the fleet control
-// plane's, and the observability layer's own metrics are part of their
-// public contracts (`/metrics`, run manifests), so ad-hoc serve.* /
-// fleet.* / obs.* names are lint errors rather than dynamic extensions.
-func ReservedMetricPrefixes() []string { return []string{"serve.", "fleet.", "obs."} }
+// plane's, the observability layer's, and the overhead observatory's
+// metrics are part of their public contracts (`/metrics`, run manifests,
+// the /overhead surface), so ad-hoc serve.* / fleet.* / obs.* /
+// overhead.* names are lint errors rather than dynamic extensions.
+func ReservedMetricPrefixes() []string { return []string{"serve.", "fleet.", "obs.", "overhead."} }
 
 // metricNameRE is the canonical metric-name shape: dotted lowercase path
 // with at least two segments.

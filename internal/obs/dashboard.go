@@ -23,7 +23,7 @@ table{border-collapse:collapse}td,th{padding:.15em .8em;text-align:left}
 th{color:#8ab}tr:nth-child(even){background:#181818}
 .spark{vertical-align:middle}.num{text-align:right}
 .ev-promotion{color:#7c7}.ev-rollback,.ev-breaker_open{color:#c77}
-.ev-overlap_degrading{color:#cc7}
+.ev-overlap_degrading,.ev-overhead_budget_breach,.ev-confidence_low{color:#cc7}
 </style></head><body>
 `)
 	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(title))
@@ -42,13 +42,31 @@ th{color:#8ab}tr:nth-child(even){background:#181818}
 		sb.WriteString("</table>\n")
 	}
 
-	if len(snap) > 0 {
-		sb.WriteString("<h2>metrics</h2>\n<table><tr><th>metric</th><th>kind</th><th class=num>value</th></tr>\n")
-		names := make([]string, 0, len(snap))
-		for n := range snap {
+	// The overhead observatory gets its own panel: the cost ledger and
+	// confidence classes are the dashboard's "what does profiling cost us
+	// right now" view, separated from the general metric dump.
+	var ohNames, names []string
+	for n := range snap {
+		if strings.HasPrefix(n, "overhead.") {
+			ohNames = append(ohNames, n)
+		} else {
 			names = append(names, n)
 		}
-		sort.Strings(names)
+	}
+	sort.Strings(ohNames)
+	sort.Strings(names)
+	if len(ohNames) > 0 {
+		sb.WriteString("<h2>overhead observatory</h2>\n<table><tr><th>metric</th><th>kind</th><th class=num>value</th></tr>\n")
+		for _, n := range ohNames {
+			mv := snap[n]
+			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td><td class=num>%s</td></tr>\n",
+				html.EscapeString(n), mv.Kind, html.EscapeString(formatMetric(mv)))
+		}
+		sb.WriteString("</table>\n")
+	}
+
+	if len(names) > 0 {
+		sb.WriteString("<h2>metrics</h2>\n<table><tr><th>metric</th><th>kind</th><th class=num>value</th></tr>\n")
 		for _, n := range names {
 			mv := snap[n]
 			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td><td class=num>%s</td></tr>\n",

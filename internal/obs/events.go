@@ -47,6 +47,12 @@ const (
 	// EvOverlapDegrading: the EWMA overlap-trend detector observed the
 	// promotion-gate margin eroding across rounds.
 	EvOverlapDegrading EventType = "overlap_degrading"
+	// EvOverheadBudgetBreach: a metered collection spent more of the run on
+	// profiling machinery than the configured overhead budget allows.
+	EvOverheadBudgetBreach EventType = "overhead_budget_breach"
+	// EvConfidenceLow: a profile's hot set contains functions whose sample
+	// counts are below the relative-error bound (hot-uncertain).
+	EvConfidenceLow EventType = "confidence_low"
 )
 
 // EventTypes lists every cataloged event type, in declaration order.
@@ -56,6 +62,7 @@ func EventTypes() []EventType {
 		EvBreakerOpen, EvBreakerHalfOpen, EvBreakerClose,
 		EvFreshnessExclusion, EvQuotaClamp, EvDecodeSkip,
 		EvOverlapDegrading,
+		EvOverheadBudgetBreach, EvConfidenceLow,
 	}
 }
 

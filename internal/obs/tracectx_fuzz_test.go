@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent checks the traceparent parser on arbitrary header
+// values: it must never panic (propagation is best-effort — a bad header
+// must never fail a request), and any value it accepts must round-trip:
+// the accepted context is Valid, renders a canonical header, and re-parsing
+// that header yields the same context.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	f.Add("00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16) + "-01")
+	f.Add("00-0123456789ABCDEF0123456789ABCDEF-0123456789abcdef-01") // uppercase hex is invalid
+	f.Add("01-0123456789abcdef0123456789abcdef-0123456789abcdef-01") // wrong version
+	f.Add("  00-0123456789abcdef0123456789abcdef-0123456789abcdef-01\n")
+	f.Add("")
+	f.Add("00--01")
+	f.Add("00-abc-def-01-extra")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, ok := ParseTraceparent(s)
+		if !ok {
+			if c != (SpanContext{}) {
+				t.Fatalf("rejected input returned non-zero context %+v", c)
+			}
+			return
+		}
+		if !c.Valid() {
+			t.Fatalf("accepted context invalid: %+v (input %q)", c, s)
+		}
+		hdr := c.Traceparent()
+		if hdr == "" {
+			t.Fatalf("accepted context renders empty header: %+v", c)
+		}
+		back, ok := ParseTraceparent(hdr)
+		if !ok || back != c {
+			t.Fatalf("canonical header does not round-trip: %q -> %+v (ok=%v), want %+v", hdr, back, ok, c)
+		}
+	})
+}

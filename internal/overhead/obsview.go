@@ -1,0 +1,33 @@
+package overhead
+
+import "csspgo/internal/obs"
+
+// Publish records the cost ledger into the unified metric registry (nil-
+// safe) — the reserved overhead.* slice of the namespace. Cycle and count
+// tallies are counters (they accumulate across refresh generations); the
+// overhead share and the confidence class counts are gauges (current
+// state). The update runs grouped so a concurrent scrape never sees a torn
+// ledger.
+func (r *Report) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t := r.Totals
+	reg.Grouped(func() {
+		reg.Counter(obs.MOverheadTotalCycles).Add(int64(t.TotalCycles))
+		reg.Counter(obs.MOverheadAppCycles).Add(int64(t.AppCycles))
+		reg.Counter(obs.MOverheadCycles).Add(int64(t.OverheadCycles))
+		reg.Counter(obs.MOverheadProbeCycles).Add(int64(t.ProbeCycles))
+		reg.Counter(obs.MOverheadSampleCycles).Add(int64(t.SampleCycles))
+		reg.Counter(obs.MOverheadVProfCycles).Add(int64(t.ValueProfileCycles))
+		reg.Counter(obs.MOverheadSamples).Add(int64(t.Samples))
+		reg.Counter(obs.MOverheadProbeIncrements).Add(int64(t.ProbeIncrements))
+		reg.Counter(obs.MOverheadFramesWalked).Add(int64(t.FramesWalked))
+		reg.Gauge(obs.MOverheadPct).Set(t.OverheadPct)
+		if c := r.Confidence; c != nil {
+			reg.Gauge(obs.MOverheadHotConfident).Set(float64(c.HotConfident))
+			reg.Gauge(obs.MOverheadHotUncertain).Set(float64(c.HotUncertain))
+			reg.Gauge(obs.MOverheadColdInstrumented).Set(float64(c.ColdInstrumented))
+		}
+	})
+}

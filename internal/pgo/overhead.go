@@ -1,0 +1,171 @@
+package pgo
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"csspgo/internal/machine"
+	"csspgo/internal/obs"
+	"csspgo/internal/overhead"
+	"csspgo/internal/profdata"
+	"csspgo/internal/quality"
+	"csspgo/internal/sampling"
+	"csspgo/internal/sim"
+	"csspgo/internal/source"
+	"csspgo/internal/workloads"
+)
+
+// The overhead-observatory harness: metered collection runs under the
+// profiling cost model (sampling interrupts cost cycles, like real PMIs),
+// with the simulator's overhead meter attached, and the tallies become the
+// csspgo-overhead/v1 ledger plus a confidence-scored profile. One metered
+// run is enough — the attributed cycles are included in the run's total,
+// so overhead% is attributed/(total-attributed) with no second baseline
+// run.
+
+// CollectSamplesMetered is CollectSamples under the profiling cost model
+// with an overhead meter attached: sampling interrupts are charged and
+// every profiling-machinery cycle is attributed.
+func CollectSamplesMetered(bin *machine.Prog, requests [][]int64, pc ProfileConfig) ([]sim.Sample, sim.Stats, *sim.OverheadMeter, error) {
+	sp := pc.Trace.Span("collect_samples_metered", obs.A("requests", len(requests)))
+	defer sp.End()
+	m := sim.New(bin, sim.ProfilingCostParams(), pmuConfig(pc))
+	meter := sim.NewOverheadMeter()
+	m.SetOverheadMeter(meter)
+	for _, req := range requests {
+		if _, err := m.Run(req...); err != nil {
+			return nil, sim.Stats{}, nil, err
+		}
+	}
+	stats := m.Stats()
+	stats.Publish(pc.Metrics)
+	return m.Samples(), stats, meter, nil
+}
+
+// MeasureOverhead runs one metered collection on bin and assembles the full
+// observatory report: the cost ledger, the generated profile (CS when the
+// binary carries probe metadata and stacks are on, flat otherwise), and the
+// confidence heatmap scored against that profile. The returned report's
+// CollectWallNS is live; Normalize before byte-comparing artifacts.
+func MeasureOverhead(bin *machine.Prog, requests [][]int64, pc ProfileConfig) (*overhead.Report, *profdata.Profile, error) {
+	start := time.Now()
+	samples, stats, meter, err := CollectSamplesMetered(bin, requests, pc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var prof *profdata.Profile
+	if len(bin.Probes) > 0 && pc.Stacks {
+		prof, _ = sampling.GenerateCSSPGO(bin, samples, csspgoOptions(pc))
+	} else {
+		prof = sampling.GenerateAutoFDOOpts(bin, samples, flatOptions(pc))
+	}
+	rep := overhead.Attribute(bin, stats, meter, pc.Period)
+	rep.Confidence = overhead.Score(bin, prof, pc.Period, 0, 0)
+	rep.CollectWallNS = time.Since(start).Nanoseconds()
+	return rep, prof, nil
+}
+
+// OverheadSweepPeriods is the sampling-period axis of the Pareto sweep,
+// densest first: the densest period is the quality reference the other
+// points' context overlap is measured against.
+func OverheadSweepPeriods() []uint64 { return []uint64{199, 797, 3203, 12799} }
+
+// OverheadSweepRow is one point on the overhead/quality Pareto surface:
+// one sampling period, aggregated across the Fig. 6 server corpus.
+type OverheadSweepRow struct {
+	Period  uint64
+	Samples uint64 // total samples across the corpus
+	// OverheadPct is aggregate profiling overhead: summed attributed
+	// cycles over summed application cycles.
+	OverheadPct float64
+	// ContextOverlap is the mean context overlap against the profile
+	// collected at the densest period (1.0 there by construction).
+	ContextOverlap float64
+	// HotConfident / HotUncertain aggregate the confidence classes across
+	// the corpus at this period.
+	HotConfident int
+	HotUncertain int
+}
+
+// OverheadSweepResult is the Pareto sweep over sampling periods.
+type OverheadSweepResult struct {
+	Workloads []string
+	Rows      []OverheadSweepRow
+}
+
+// String renders the Pareto table.
+func (r *OverheadSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Overhead/quality Pareto sweep (%s)\n", strings.Join(r.Workloads, ", "))
+	fmt.Fprintf(&b, "%8s %10s %12s %16s %8s %8s\n",
+		"period", "samples", "overhead%", "context overlap", "hot-ok", "hot-unc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %10d %11.3f%% %16.4f %8d %8d\n",
+			row.Period, row.Samples, row.OverheadPct, row.ContextOverlap,
+			row.HotConfident, row.HotUncertain)
+	}
+	return b.String()
+}
+
+// RunOverheadSweep sweeps the sampling period over the Fig. 6 server corpus
+// under the profiling cost model and traces the overhead-vs-quality curve:
+// denser sampling costs more interrupt cycles and buys higher context
+// overlap against the densest-period reference profile.
+func RunOverheadSweep(scale int) (*OverheadSweepResult, error) {
+	names := workloads.ServerNames()
+	periods := OverheadSweepPeriods()
+	type wl struct {
+		files []*source.File
+		train [][]int64
+		bin   *machine.Prog
+	}
+	var corpus []wl
+	for _, name := range names {
+		w, err := workloads.Load(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		built, err := Build(w.Files, BuildConfig{Probes: true})
+		if err != nil {
+			return nil, fmt.Errorf("overheadsweep: build %s: %w", name, err)
+		}
+		corpus = append(corpus, wl{files: w.Files, train: w.Train, bin: built.Bin})
+	}
+
+	res := &OverheadSweepResult{Workloads: names}
+	// refs[i] is workload i's profile at the densest (first) period.
+	refs := make([]*profdata.Profile, len(corpus))
+	for pi, period := range periods {
+		pc := DefaultProfileConfig()
+		pc.Period = period
+		row := OverheadSweepRow{Period: period}
+		var appCycles, ohCycles uint64
+		var overlapSum float64
+		for wi := range corpus {
+			rep, prof, err := MeasureOverhead(corpus[wi].bin, corpus[wi].train, pc)
+			if err != nil {
+				return nil, fmt.Errorf("overheadsweep: %s @ %d: %w", names[wi], period, err)
+			}
+			appCycles += rep.Totals.AppCycles
+			ohCycles += rep.Totals.OverheadCycles
+			row.Samples += rep.Totals.Samples
+			if c := rep.Confidence; c != nil {
+				row.HotConfident += c.HotConfident
+				row.HotUncertain += c.HotUncertain
+			}
+			if pi == 0 {
+				refs[wi] = prof
+				overlapSum += 1
+			} else {
+				overlapSum += quality.DiffProfiles(refs[wi], prof).ContextOverlap
+			}
+		}
+		if appCycles > 0 {
+			row.OverheadPct = 100 * float64(ohCycles) / float64(appCycles)
+		}
+		row.ContextOverlap = overlapSum / float64(len(corpus))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,158 @@
+package pgo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"csspgo/internal/obs"
+	"csspgo/internal/overhead"
+	"csspgo/internal/workloads"
+)
+
+// MeasureOverhead produces a valid artifact whose ledger reflects a real
+// metered run, and two identical runs are byte-identical after Normalize —
+// the acceptance bar for the check.sh overhead lane.
+func TestMeasureOverheadDeterministic(t *testing.T) {
+	w, err := workloads.Load("adretriever", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(w.Files, BuildConfig{Probes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := DefaultProfileConfig()
+	measure := func() []byte {
+		rep, prof, err := MeasureOverhead(built.Bin, w.Train, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof == nil || prof.TotalSamples() == 0 {
+			t.Fatal("metered run produced no profile")
+		}
+		if rep.Totals.Samples == 0 || rep.Totals.SampleCycles == 0 {
+			t.Fatalf("ledger empty: %+v", rep.Totals)
+		}
+		if rep.Confidence == nil || len(rep.Confidence.Funcs) == 0 {
+			t.Fatal("no confidence heatmap")
+		}
+		if rep.CollectWallNS == 0 {
+			t.Fatal("live report must carry wall time before Normalize")
+		}
+		rep.Normalize()
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("artifact invalid: %v", err)
+		}
+		data, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := measure(), measure()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("normalized artifacts differ across identical runs:\n%.400s\n---\n%.400s", a, b)
+	}
+	if _, err := overhead.Decode(a); err != nil {
+		t.Fatalf("artifact does not decode: %v", err)
+	}
+}
+
+// The Pareto sweep's overhead column must strictly decrease as the sampling
+// period grows (fewer interrupts, each at fixed cost), with the quality
+// reference pinned at 1.0 for the densest period.
+func TestOverheadSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunOverheadSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Rows), len(OverheadSweepPeriods()); got != want {
+		t.Fatalf("%d rows, want %d", got, want)
+	}
+	for i, row := range res.Rows {
+		if row.Samples == 0 || row.OverheadPct <= 0 {
+			t.Fatalf("row %d metered nothing: %+v", i, row)
+		}
+		if row.ContextOverlap < 0 || row.ContextOverlap > 1 {
+			t.Fatalf("row %d overlap out of range: %+v", i, row)
+		}
+		if i == 0 {
+			if row.ContextOverlap != 1 {
+				t.Fatalf("densest period overlap = %v, want 1 (it is its own reference)", row.ContextOverlap)
+			}
+			continue
+		}
+		if row.OverheadPct >= res.Rows[i-1].OverheadPct {
+			t.Fatalf("overhead not strictly decreasing at period %d: %.4f then %.4f\n%s",
+				row.Period, res.Rows[i-1].OverheadPct, row.OverheadPct, res)
+		}
+		if row.Samples >= res.Rows[i-1].Samples {
+			t.Fatalf("sample count not decreasing at period %d\n%s", row.Period, res)
+		}
+	}
+	if !strings.Contains(res.String(), "Pareto") {
+		t.Fatalf("table header: %q", res.String())
+	}
+}
+
+// The observed refresher publishes the overhead.* ledger and delivers a
+// normalized artifact to the sink; a tiny budget journals a breach and a
+// hot-uncertain heatmap journals a confidence event, all within the closed
+// event catalog.
+func TestRefresherOverheadObservatory(t *testing.T) {
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	sink := &captureSink{}
+	oo := &OverheadObs{Sink: sink, Journal: journal, BudgetPct: 0.0001, Source: "adretriever"}
+	refresh, err := NewWorkloadRefresherObserved("adretriever", 1, DefaultProfileConfig(), reg, oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{obs.MOverheadPct, obs.MOverheadSamples, obs.MOverheadCycles} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("refresh did not publish %s", name)
+		}
+	}
+	if reg.Counter(obs.MOverheadBudgetBreaches).Value() == 0 {
+		t.Fatal("microscopic budget not breached")
+	}
+	if len(sink.data) == 0 {
+		t.Fatal("sink got no artifact")
+	}
+	rep, err := overhead.Decode(sink.data)
+	if err != nil {
+		t.Fatalf("sink artifact invalid: %v", err)
+	}
+	if rep.CollectWallNS != 0 {
+		t.Fatal("sink artifact not normalized")
+	}
+	var breach bool
+	for _, e := range journal.Events() {
+		if e.Type == obs.EvOverheadBudgetBreach {
+			breach = true
+		}
+	}
+	if !breach {
+		t.Fatalf("no %s event journaled: %+v", obs.EvOverheadBudgetBreach, journal.Events())
+	}
+	data, err := journal.EncodeJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateJournal(data); err != nil {
+		t.Fatalf("journal outside the closed catalog: %v", err)
+	}
+}
+
+type captureSink struct{ data []byte }
+
+func (s *captureSink) SetOverhead(data []byte) { s.data = data }

@@ -86,6 +86,13 @@ func PublishExperiment(reg *obs.Registry, name string, res any) {
 			gauge(row.Workload+".stream_samples_per_sec", row.StreamPerSec)
 			gauge(row.Workload+".batch_samples_per_sec", row.BatchPerSec)
 		}
+	case *OverheadSweepResult:
+		for _, row := range r.Rows {
+			p := fmt.Sprintf("p%d", row.Period)
+			gauge(p+".overhead_pct", row.OverheadPct)
+			gauge(p+".context_overlap", row.ContextOverlap)
+			gauge(p+".samples", float64(row.Samples))
+		}
 	case *FleetFaultsResult:
 		for _, c := range r.Cells {
 			// Fault names use '-', the metric grammar wants '_'.

@@ -3,8 +3,10 @@ package pgo
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"csspgo/internal/obs"
+	"csspgo/internal/overhead"
 	"csspgo/internal/preinline"
 	"csspgo/internal/profdata"
 	"csspgo/internal/quality"
@@ -40,6 +42,67 @@ func SeededRequests(n int, seed, bound int64) [][]int64 {
 	return out
 }
 
+// OverheadSink receives the normalized csspgo-overhead/v1 artifact a
+// refresher produces each generation (introspect.Server implements it for
+// its /overhead endpoint).
+type OverheadSink interface {
+	SetOverhead(data []byte)
+}
+
+// OverheadObs wires the overhead observatory into a refresher: each
+// refresh's cost ledger goes to Sink, breaches of the overhead budget and
+// hot-uncertain confidence findings are journaled, and the budget-breach
+// count is published under overhead.budget_breaches.
+type OverheadObs struct {
+	Sink    OverheadSink // nil = no artifact delivery
+	Journal *obs.Journal // nil = no events
+	// BudgetPct is the allowed profiling overhead (attributed cycles as a
+	// percentage of application cycles); 0 disables the budget check.
+	BudgetPct float64
+	// Source labels emitted events (the daemon's profile name).
+	Source string
+
+	gen uint64 // refresh generation, the events' logical round clock
+}
+
+// observe processes one refresh's ledger (called under the refresher's
+// mutex, so the generation counter needs no further locking).
+func (o *OverheadObs) observe(rep *overhead.Report, reg *obs.Registry) {
+	if o == nil {
+		return
+	}
+	o.gen++
+	if o.BudgetPct > 0 && rep.Totals.OverheadPct > o.BudgetPct {
+		reg.Counter(obs.MOverheadBudgetBreaches).Add(1)
+		o.Journal.Emit(obs.Event{
+			Type: obs.EvOverheadBudgetBreach, Round: o.gen, Source: o.Source,
+			Metrics: map[string]float64{
+				"overhead_pct": rep.Totals.OverheadPct,
+				"budget_pct":   o.BudgetPct,
+			},
+			Detail: fmt.Sprintf("profiling overhead %.3f%% exceeds budget %.3f%%",
+				rep.Totals.OverheadPct, o.BudgetPct),
+		})
+	}
+	if c := rep.Confidence; c != nil && c.HotUncertain > 0 {
+		o.Journal.Emit(obs.Event{
+			Type: obs.EvConfidenceLow, Round: o.gen, Source: o.Source,
+			Metrics: map[string]float64{
+				"hot_uncertain": float64(c.HotUncertain),
+				"total_samples": float64(c.TotalSamples),
+			},
+			Detail: fmt.Sprintf("%d hot function(s) below the %.1f%% relative-error bound",
+				c.HotUncertain, c.MaxRelErrPct),
+		})
+	}
+	if o.Sink != nil {
+		rep.Normalize()
+		if data, err := rep.Encode(); err == nil {
+			o.Sink.SetOverhead(data)
+		}
+	}
+}
+
 // NewRefresher builds the probed training binary once and returns a
 // refresh closure that re-samples the train stream and regenerates the CS
 // profile (trimmed + pre-inlined, like the FullCS pipeline) on every call,
@@ -49,6 +112,14 @@ func SeededRequests(n int, seed, bound int64) [][]int64 {
 // daemon's /metrics exposes how much the profile moved between swaps.
 // The closure is safe for use from a single refresh goroutine.
 func NewRefresher(files []*source.File, train [][]int64, pc ProfileConfig, reg *obs.Registry) (func() (*profdata.Profile, *obs.Report, error), error) {
+	return NewRefresherObserved(files, train, pc, reg, nil)
+}
+
+// NewRefresherObserved is NewRefresher with the overhead observatory
+// attached: collection runs metered under the profiling cost model, the
+// overhead.* ledger is published into reg every refresh, and oo (when
+// non-nil) receives the artifact and emits budget/confidence events.
+func NewRefresherObserved(files []*source.File, train [][]int64, pc ProfileConfig, reg *obs.Registry, oo *OverheadObs) (func() (*profdata.Profile, *obs.Report, error), error) {
 	base, err := Build(files, BuildConfig{Probes: true})
 	if err != nil {
 		return nil, fmt.Errorf("pgo: build training binary: %w", err)
@@ -63,7 +134,8 @@ func NewRefresher(files []*source.File, train [][]int64, pc ProfileConfig, reg *
 		rpc.Trace = obsrv.Trace
 		rpc.Metrics = obsrv.Metrics
 		obsrv.ObserveProfile(&rpc)
-		samples, _, err := CollectSamples(base.Bin, train, rpc)
+		start := time.Now()
+		samples, stats, meter, err := CollectSamplesMetered(base.Bin, train, rpc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -71,12 +143,19 @@ func NewRefresher(files []*source.File, train [][]int64, pc ProfileConfig, reg *
 		prof.TrimColdContexts(trimThreshold(prof))
 		preinline.Run(prof, sizes, preinline.DeriveParams(prof))
 
+		ohRep := overhead.Attribute(base.Bin, stats, meter, rpc.Period)
+		ohRep.Confidence = overhead.Score(base.Bin, prof, rpc.Period, 0, 0)
+		ohRep.CollectWallNS = time.Since(start).Nanoseconds()
+		ohRep.Publish(reg)
+		ohRep.Publish(obsrv.Metrics)
+
 		mu.Lock()
 		if prev != nil {
 			quality.DiffProfilesObserved(prev, prof, reg)
 			quality.DiffProfilesObserved(prev, prof, obsrv.Metrics)
 		}
 		prev = prof
+		oo.observe(ohRep, reg)
 		mu.Unlock()
 
 		echo := map[string]any{
@@ -89,9 +168,15 @@ func NewRefresher(files []*source.File, train [][]int64, pc ProfileConfig, reg *
 // NewWorkloadRefresher is NewRefresher for a named synthetic workload at
 // the given request-stream scale.
 func NewWorkloadRefresher(name string, scale int, pc ProfileConfig, reg *obs.Registry) (func() (*profdata.Profile, *obs.Report, error), error) {
+	return NewWorkloadRefresherObserved(name, scale, pc, reg, nil)
+}
+
+// NewWorkloadRefresherObserved is NewRefresherObserved for a named
+// synthetic workload.
+func NewWorkloadRefresherObserved(name string, scale int, pc ProfileConfig, reg *obs.Registry, oo *OverheadObs) (func() (*profdata.Profile, *obs.Report, error), error) {
 	w, err := workloads.Load(name, scale)
 	if err != nil {
 		return nil, err
 	}
-	return NewRefresher(w.Files, w.Train, pc, reg)
+	return NewRefresherObserved(w.Files, w.Train, pc, reg, oo)
 }

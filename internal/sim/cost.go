@@ -17,6 +17,14 @@ type CostParams struct {
 	ICacheBytes     int    // total i-cache capacity
 	ICacheLineBytes int
 	ICacheWays      int
+
+	// Sampling-interrupt cost: the PMI dispatch itself plus the
+	// frame-pointer walk per stack frame captured. Both default to 0 so
+	// cycle counts stay comparable across the existing experiments; the
+	// overhead observatory enables them via ProfilingCostParams to make
+	// the cost of profiling itself visible.
+	SampleInterrupt uint64 // fixed cycles per sampling interrupt
+	SampleFrame     uint64 // cycles per stack frame walked in the interrupt
 }
 
 // DefaultCostParams returns the calibrated default model.
@@ -34,6 +42,18 @@ func DefaultCostParams() CostParams {
 		ICacheLineBytes: 64,
 		ICacheWays:      2,
 	}
+}
+
+// ProfilingCostParams returns the default model with the sampling-interrupt
+// costs enabled: a PMI dispatch plus a per-frame unwind charge. Use it when
+// the point of the run is to measure what profiling itself costs (the
+// overhead observatory, the Pareto sweep); everything else keeps the
+// zero-cost defaults so cycle counts stay pinned.
+func ProfilingCostParams() CostParams {
+	p := DefaultCostParams()
+	p.SampleInterrupt = 250
+	p.SampleFrame = 8
+	return p
 }
 
 // predictor is a classic table of 2-bit saturating counters indexed by

@@ -55,6 +55,10 @@ type Machine struct {
 	// collected only on instrumented binaries (value profiling).
 	vprof map[uint64]map[int32]uint64
 
+	// meter, when attached, receives per-probe / per-function attribution
+	// of every profiling-machinery cycle (see meter.go). Nil by default.
+	meter *OverheadMeter
+
 	// MaxSteps bounds a single Run (runaway-loop guard).
 	MaxSteps uint64
 }
@@ -118,6 +122,10 @@ func (m *Machine) ValueProfile() map[uint64]map[int32]uint64 { return m.vprof }
 // ErrStepLimit is returned when a run exceeds MaxSteps.
 var ErrStepLimit = errors.New("sim: step limit exceeded")
 
+// valueProfileCost is the per-indirect-call bookkeeping charge on
+// instrumented binaries (hash + histogram RMW).
+const valueProfileCost = 8
+
 func (m *Machine) idxOf(addr uint64) int32 {
 	off := addr - m.base
 	if off >= uint64(len(m.addrToIdx)) {
@@ -153,11 +161,28 @@ func (m *Machine) branchEvent(from, to uint64, prePC uint64, preStack []uint64) 
 	}
 	m.stats.Samples++
 	if m.pmu.cfg.PEBS {
-		m.pmu.takeSample(m.stackSnapshot(to, m.frames))
+		snap := m.stackSnapshot(to, m.frames)
+		m.pmu.takeSample(snap)
+		m.sampleTaken(to, m.walkedFrames(snap))
 	} else {
 		m.pmu.takeSample(preStack)
+		leaf := to
+		if len(preStack) > 0 {
+			leaf = preStack[0]
+		}
+		m.sampleTaken(leaf, m.walkedFrames(preStack))
 	}
 	_ = prePC
+}
+
+// walkedFrames is the number of frames the sampling interrupt actually
+// unwound: zero for LBR-only sampling (no stack capture), the snapshot
+// length otherwise.
+func (m *Machine) walkedFrames(stack []uint64) int {
+	if !m.pmu.cfg.SampleStacks {
+		return 0
+	}
+	return len(stack)
 }
 
 // Run executes main(args...) to completion and returns its result.
@@ -342,7 +367,11 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 			if m.Prog.Instrumented {
 				// Value profiling: per-site target histogram (costly RMW +
 				// hashing, the instrumentation-PGO price).
-				m.stats.Cycles += 8
+				m.stats.Cycles += valueProfileCost
+				if m.meter != nil {
+					m.meter.VProfHits[in.Addr]++
+					m.meter.VProfCycles += valueProfileCost
+				}
 				if m.vprof == nil {
 					m.vprof = map[uint64]map[int32]uint64{}
 				}
@@ -422,6 +451,10 @@ func (m *Machine) Run(args ...int64) (int64, error) {
 		case machine.KCounter:
 			m.counters[in.CounterID]++
 			m.stats.Cycles += cost.CounterCost
+			if m.meter != nil {
+				m.meter.ProbeHits[in.CounterID]++
+				m.meter.ProbeCycles += cost.CounterCost
+			}
 			pc++
 		}
 

@@ -1,0 +1,73 @@
+package sim
+
+// The overhead meter: optional per-run attribution of every cycle the
+// machine spends on profiling machinery rather than application work —
+// instrumentation counter RMWs (per counter ID), indirect-call value
+// profiling (per call site), and sampling interrupts (per leaf function).
+// It is nil by default and costs nothing when detached; the observatory
+// (internal/overhead) attaches one and turns the raw tallies into the
+// csspgo-overhead/v1 artifact.
+
+// OverheadMeter accumulates profiling-cost attribution for one machine.
+// All fields are plain tallies; map iteration order never leaks into
+// results because the consumer sorts before rendering.
+type OverheadMeter struct {
+	// ProbeHits counts instrumentation counter increments per counter ID
+	// (index into Prog.CounterKeys). Empty on probe-only binaries — probes
+	// are metadata and never execute.
+	ProbeHits map[int32]uint64
+	// FuncSamples counts sampling interrupts per leaf function name
+	// (the function containing the sampled PC; "?" when unmapped).
+	FuncSamples map[string]uint64
+	// VProfHits counts value-profile updates per indirect-call site address
+	// (instrumented binaries only).
+	VProfHits map[uint64]uint64
+
+	Samples      uint64 // sampling interrupts taken
+	FramesWalked uint64 // stack frames captured across all interrupts
+
+	// Cycle tallies, split by mechanism. ProbeCycles and VProfCycles are
+	// charged on every binary kind (CounterCost / value-profile RMW);
+	// SampleCycles is nonzero only under a cost model with interrupt costs
+	// enabled (ProfilingCostParams).
+	ProbeCycles  uint64
+	SampleCycles uint64
+	VProfCycles  uint64
+}
+
+// NewOverheadMeter returns an empty meter.
+func NewOverheadMeter() *OverheadMeter {
+	return &OverheadMeter{
+		ProbeHits:   map[int32]uint64{},
+		FuncSamples: map[string]uint64{},
+		VProfHits:   map[uint64]uint64{},
+	}
+}
+
+// OverheadCycles returns the total cycles attributed to profiling
+// machinery.
+func (o *OverheadMeter) OverheadCycles() uint64 {
+	return o.ProbeCycles + o.SampleCycles + o.VProfCycles
+}
+
+// SetOverheadMeter attaches (or with nil detaches) an overhead meter. The
+// meter observes subsequent Run calls; attach before running.
+func (m *Machine) SetOverheadMeter(o *OverheadMeter) { m.meter = o }
+
+// sampleTaken attributes one sampling interrupt: the leaf PC's function,
+// the frames walked, and the interrupt cycles charged by the cost model.
+func (m *Machine) sampleTaken(leafPC uint64, frames int) {
+	cycles := m.Cost.SampleInterrupt + m.Cost.SampleFrame*uint64(frames)
+	m.stats.Cycles += cycles
+	if m.meter == nil {
+		return
+	}
+	m.meter.Samples++
+	m.meter.FramesWalked += uint64(frames)
+	m.meter.SampleCycles += cycles
+	name := "?"
+	if f := m.Prog.FuncAt(leafPC); f != nil {
+		name = f.Name
+	}
+	m.meter.FuncSamples[name]++
+}

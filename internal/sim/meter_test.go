@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"csspgo/internal/codegen"
+)
+
+const meterSrc = `
+func main(n) { return work(n) + work(n + 1); }
+func work(n) {
+	var s = 0;
+	while (n > 0) { s = s + n; n = n - 1; }
+	return s;
+}`
+
+// The profiling cost model is opt-in: DefaultCostParams charges nothing for
+// sampling interrupts, so cycle counts with sampling enabled are identical
+// with and without a meter attached, and identical to the pre-observatory
+// behavior.
+func TestMeterDefaultCostsNothing(t *testing.T) {
+	cfg := PMUConfig{SamplePeriod: 13, LBRDepth: 16, PEBS: true, SampleStacks: true}
+	mp := compile(t, meterSrc, codegen.Options{}, true)
+
+	base := New(mp, DefaultCostParams(), cfg)
+	if _, err := base.Run(40); err != nil {
+		t.Fatal(err)
+	}
+
+	metered := New(mp, DefaultCostParams(), cfg)
+	meter := NewOverheadMeter()
+	metered.SetOverheadMeter(meter)
+	if _, err := metered.Run(40); err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Stats() != metered.Stats() {
+		t.Fatalf("meter changed stats under default costs:\nbase    %+v\nmetered %+v",
+			base.Stats(), metered.Stats())
+	}
+	if meter.Samples != metered.Stats().Samples {
+		t.Fatalf("meter samples %d != stats samples %d", meter.Samples, metered.Stats().Samples)
+	}
+	if meter.SampleCycles != 0 {
+		t.Fatalf("SampleCycles = %d under zero-cost model", meter.SampleCycles)
+	}
+}
+
+// Under ProfilingCostParams every sampling interrupt is charged
+// SampleInterrupt + SampleFrame per walked frame, the charge lands in
+// stats.Cycles, and the meter attributes exactly that amount.
+func TestMeterProfilingCostCharged(t *testing.T) {
+	cfg := PMUConfig{SamplePeriod: 13, LBRDepth: 16, PEBS: true, SampleStacks: true}
+	mp := compile(t, meterSrc, codegen.Options{}, true)
+
+	base := New(mp, DefaultCostParams(), cfg)
+	if _, err := base.Run(40); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := New(mp, ProfilingCostParams(), cfg)
+	meter := NewOverheadMeter()
+	prof.SetOverheadMeter(meter)
+	if _, err := prof.Run(40); err != nil {
+		t.Fatal(err)
+	}
+
+	if meter.Samples == 0 {
+		t.Fatal("no samples taken; period too sparse for the workload")
+	}
+	cp := ProfilingCostParams()
+	want := cp.SampleInterrupt*meter.Samples + cp.SampleFrame*meter.FramesWalked
+	if meter.SampleCycles != want {
+		t.Fatalf("SampleCycles = %d, want %d", meter.SampleCycles, want)
+	}
+	// Sampling is branch-count-driven, so the interrupt charge changes
+	// cycles and nothing else.
+	if got, base := prof.Stats().Cycles, base.Stats().Cycles; got != base+want {
+		t.Fatalf("cycles = %d, want base %d + charged %d", got, base, want)
+	}
+	ns, bs := prof.Stats(), base.Stats()
+	ns.Cycles, bs.Cycles = 0, 0
+	if ns != bs {
+		t.Fatalf("profiling cost model changed non-cycle stats:\nbase %+v\nprof %+v", bs, ns)
+	}
+	// Every interrupt is attributed to a named leaf function.
+	var perFunc uint64
+	for name, n := range meter.FuncSamples {
+		if name == "?" {
+			t.Fatalf("%d samples attributed to unmapped PCs", n)
+		}
+		perFunc += n
+	}
+	if perFunc != meter.Samples {
+		t.Fatalf("per-func samples %d != total %d", perFunc, meter.Samples)
+	}
+}
+
+// On an instrumented binary the meter tallies every counter RMW per counter
+// ID at CounterCost cycles apiece; on a probe-only binary the probe table
+// stays empty (probes are metadata, never executed).
+func TestMeterProbeAttribution(t *testing.T) {
+	instr := compile(t, meterSrc, codegen.Options{Instrument: true}, true)
+	m := New(instr, DefaultCostParams(), PMUConfig{})
+	meter := NewOverheadMeter()
+	m.SetOverheadMeter(meter)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(meter.ProbeHits) == 0 {
+		t.Fatal("instrumented run recorded no probe hits")
+	}
+	var inc uint64
+	for _, n := range meter.ProbeHits {
+		inc += n
+	}
+	if want := inc * DefaultCostParams().CounterCost; meter.ProbeCycles != want {
+		t.Fatalf("ProbeCycles = %d, want %d (%d increments)", meter.ProbeCycles, want, inc)
+	}
+
+	probed := compile(t, meterSrc, codegen.Options{}, true)
+	m2 := New(probed, DefaultCostParams(), PMUConfig{})
+	meter2 := NewOverheadMeter()
+	m2.SetOverheadMeter(meter2)
+	if _, err := m2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(meter2.ProbeHits) != 0 || meter2.ProbeCycles != 0 {
+		t.Fatalf("probe-only binary charged probe cost: %d hits, %d cycles",
+			len(meter2.ProbeHits), meter2.ProbeCycles)
+	}
+}

@@ -35,6 +35,7 @@ for target in FuzzFoldedText FuzzFoldedBinary; do
 done
 go test ./internal/opt -run='^FuzzTranslationValidate$' -fuzz='^FuzzTranslationValidate$' -fuzztime=5s
 go test ./internal/sampling -run='^FuzzChunkedDispatcher$' -fuzz='^FuzzChunkedDispatcher$' -fuzztime=5s
+go test ./internal/obs -run='^FuzzParseTraceparent$' -fuzz='^FuzzParseTraceparent$' -fuzztime=5s
 
 echo "== alloc-regression gate (streaming generation hot path)"
 sh scripts/allocgate.sh
@@ -116,6 +117,23 @@ if bin/csspgo inspect -diff "$obsdir/old.prof" "$obsdir/new.prof" | grep -q "con
 	exit 1
 fi
 
+echo "== overhead observatory (cost ledger determinism + budget gate)"
+# Two metered runs of the quickstart binary must produce byte-identical
+# normalized artifacts, the artifact must validate, and a microscopic
+# budget must trip the exit-2 gate (the report -diff convention).
+bin/csspgo build -o "$obsdir/oh.bin" -probes examples/quickstart/app.ml >/dev/null
+bin/csspgo overhead -bin "$obsdir/oh.bin" -o "$obsdir/oh-a.json" -n 50 >/dev/null
+bin/csspgo overhead -bin "$obsdir/oh.bin" -o "$obsdir/oh-b.json" -n 50 >/dev/null
+cmp "$obsdir/oh-a.json" "$obsdir/oh-b.json"
+bin/csspgo overhead -validate "$obsdir/oh-a.json"
+grep -q '"schema": "csspgo-overhead/v1"' "$obsdir/oh-a.json"
+rc=0
+bin/csspgo overhead -bin "$obsdir/oh.bin" -n 50 -budget 0.0001 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+	echo "overhead budget gate exited $rc, want 2" >&2
+	exit 1
+fi
+
 echo "== serve smoke (HTTP daemon on an ephemeral port)"
 bin/csspgo serve -addr 127.0.0.1:0 -name quickstart examples/quickstart/app.ml > "$obsdir/serve.log" 2>&1 &
 servepid=$!
@@ -139,6 +157,8 @@ curl -sf "$url/timeseries" | grep -q '"schema": "csspgo-timeseries/v1"'
 curl -sf "$url/dashboard" | grep -qi '<html'
 curl -sf "$url/metrics" | grep -q '^serve_requests '
 curl -sf "$url/metrics" | grep -q '^serve_swap_latency_ns{quantile="0.99"} '
+curl -sf "$url/overhead" | grep -q '"schema": "csspgo-overhead/v1"'
+curl -sf "$url/dashboard" | grep -q 'overhead observatory'
 curl -sf "$url/flamegraph" > "$obsdir/flame.folded"
 cmp "$obsdir/flame.folded" internal/pgo/testdata/quickstart.folded
 curl -sf "$url/profiles/quickstart" > "$obsdir/served.prof"
